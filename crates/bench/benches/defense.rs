@@ -1,0 +1,91 @@
+//! Evaluates the §V defenses against every attack type: detection rate,
+//! detection latency, and whether detection lands inside the
+//! time-to-hazard window (the mitigation budget of the paper's Fig. 2).
+//! Also measures the false-positive rate on attack-free runs.
+
+use attack_core::{AttackType, StrategyKind, ValueMode};
+use bench::{scaled_reps, write_artifact};
+use driver_model::DriverConfig;
+use platform::experiment::{plan_attack_campaign, plan_no_attack_campaign, run_parallel, CampaignConfig};
+
+fn main() {
+    let reps = scaled_reps();
+    let mut report = String::new();
+
+    // False positives: defenses watching attack-free traffic.
+    let mut specs = plan_no_attack_campaign(reps, 0xDEF0, DriverConfig::alert());
+    for s in &mut specs {
+        s.defenses_enabled = true;
+    }
+    let baseline = run_parallel(&specs);
+    let fp_inv = baseline.iter().filter(|r| r.invariant_detected.is_some()).count();
+    let fp_mon = baseline.iter().filter(|r| r.monitor_detected.is_some()).count();
+    report.push_str(&format!(
+        "attack-free false positives over {} runs: invariant {fp_inv}, monitor {fp_mon}\n\n",
+        baseline.len()
+    ));
+
+    report.push_str(
+        "Context-Aware attacks with strategic values (the paper's stealthiest case):\n\
+         | attack type           | runs | detected(inv) | detected(mon) | med latency | in time |\n",
+    );
+    for attack_type in AttackType::ALL {
+        let mut cfg = CampaignConfig::paper(StrategyKind::ContextAware);
+        cfg.value_mode = ValueMode::Strategic;
+        cfg.reps = reps;
+        let mut specs = plan_attack_campaign(&cfg, attack_type);
+        for s in &mut specs {
+            s.defenses_enabled = true;
+        }
+        let results = run_parallel(&specs);
+        let activated: Vec<_> = results
+            .iter()
+            .filter(|r| r.attack_activated.is_some())
+            .collect();
+        let det_inv = activated.iter().filter(|r| r.invariant_detected.is_some()).count();
+        let det_mon = activated.iter().filter(|r| r.monitor_detected.is_some()).count();
+        // Earliest of the two detectors per run.
+        let mut latencies: Vec<f64> = activated
+            .iter()
+            .filter_map(|r| {
+                let d = match (r.invariant_detected, r.monitor_detected) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }?;
+                let t_a = r.attack_activated?;
+                (d >= t_a).then(|| (d - t_a).secs())
+            })
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = latencies
+            .get(latencies.len() / 2)
+            .map_or(f64::NAN, |v| *v);
+        let in_time = activated
+            .iter()
+            .filter(|r| {
+                let d = match (r.invariant_detected, r.monitor_detected) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                match (d, r.first_hazard) {
+                    (Some(d), Some((h, _))) => d < h,
+                    (Some(_), None) => true,
+                    _ => false,
+                }
+            })
+            .count();
+        report.push_str(&format!(
+            "| {:<21} | {:>4} | {:>13} | {:>13} | {:>9.2}s | {:>4}/{:<4} |\n",
+            attack_type.label(),
+            activated.len(),
+            det_inv,
+            det_mon,
+            median,
+            in_time,
+            activated.len(),
+        ));
+    }
+
+    println!("{report}");
+    write_artifact("defense.txt", &report);
+}

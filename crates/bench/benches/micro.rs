@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks of the reproduction's building blocks:
+//! simulation stepping, CAN encode/decode + checksum repair, bus pub/sub,
+//! context matching, and a full harness tick.
+
+use attack_core::{
+    AttackAction, AttackConfig, AttackEngine, ContextState, ContextTable, SteerDirection,
+};
+use canbus::{decode, rewrite_signal, Encoder, VirtualCarDbc};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use driving_sim::{ActuatorCommand, Scenario, ScenarioId, SensorSuite, World};
+use msgbus::schema::GpsLocation;
+use msgbus::{Bus, Payload, Topic};
+use platform::{Harness, HarnessConfig};
+use units::{Distance, Seconds, Speed, Tick};
+
+fn bench_world_step(c: &mut Criterion) {
+    c.bench_function("world_step", |b| {
+        let mut world = World::new(
+            Scenario::new(ScenarioId::S2, Distance::meters(200.0)),
+            1,
+        );
+        b.iter(|| {
+            world.step(black_box(ActuatorCommand::default()));
+        });
+    });
+}
+
+fn bench_sensor_sample(c: &mut Criterion) {
+    c.bench_function("sensor_sample", |b| {
+        let world = World::new(Scenario::new(ScenarioId::S1, Distance::meters(70.0)), 2);
+        let mut sensors = SensorSuite::new(2);
+        b.iter(|| black_box(sensors.sample(&world)));
+    });
+}
+
+fn bench_can_roundtrip(c: &mut Criterion) {
+    c.bench_function("can_encode_decode", |b| {
+        let dbc = VirtualCarDbc::new();
+        let mut enc = Encoder::new();
+        b.iter(|| {
+            let frame = enc
+                .encode(dbc.steering_control(), &[("STEER_ANGLE_CMD", 0.25)])
+                .unwrap();
+            black_box(decode(dbc.steering_control(), &frame).unwrap())
+        });
+    });
+
+    c.bench_function("can_mitm_rewrite", |b| {
+        let dbc = VirtualCarDbc::new();
+        let mut enc = Encoder::new();
+        let frame = enc
+            .encode(dbc.steering_control(), &[("STEER_ANGLE_CMD", 0.1)])
+            .unwrap();
+        b.iter(|| {
+            black_box(
+                rewrite_signal(dbc.steering_control(), &frame, "STEER_ANGLE_CMD", 0.5).unwrap(),
+            )
+        });
+    });
+}
+
+fn bench_bus(c: &mut Criterion) {
+    c.bench_function("bus_publish_fanout3", |b| {
+        let bus = Bus::new();
+        let _a = bus.subscribe(&[Topic::GpsLocationExternal]);
+        let _b = bus.subscribe(&[Topic::GpsLocationExternal]);
+        let _c = bus.subscribe(&[Topic::GpsLocationExternal]);
+        b.iter(|| {
+            bus.publish(
+                Tick::ZERO,
+                Payload::GpsLocationExternal(GpsLocation::default()),
+            )
+        });
+    });
+}
+
+fn bench_context_matching(c: &mut Criterion) {
+    c.bench_function("context_table_match", |b| {
+        let table = ContextTable::default();
+        let state = ContextState {
+            v_ego: Speed::from_mph(60.0),
+            v_cruise: Speed::from_mph(60.0),
+            lead_present: true,
+            hwt: Some(Seconds::new(2.0)),
+            rs: Some(Speed::from_mph(10.0)),
+            d_left: Distance::meters(0.5),
+            d_right: Distance::meters(1.4),
+        };
+        b.iter(|| {
+            black_box(table.action_matches(&state, AttackAction::Accelerate));
+            black_box(table.action_matches(&state, AttackAction::Steer(SteerDirection::Right)))
+        });
+    });
+}
+
+fn bench_attack_engine_observe(c: &mut Criterion) {
+    c.bench_function("attack_engine_observe", |b| {
+        let bus = Bus::new();
+        let mut engine = AttackEngine::new(&bus, AttackConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            bus.publish(
+                Tick::new(i),
+                Payload::GpsLocationExternal(GpsLocation {
+                    speed: Speed::from_mph(60.0),
+                    bearing: units::Angle::ZERO,
+                }),
+            );
+            engine.observe(Tick::new(i));
+            i += 1;
+        });
+    });
+}
+
+fn bench_harness_tick(c: &mut Criterion) {
+    c.bench_function("harness_full_tick", |b| {
+        let mut harness = Harness::new(HarnessConfig::with_attack(
+            Scenario::new(ScenarioId::S2, Distance::meters(200.0)),
+            3,
+            AttackConfig::default(),
+        ));
+        b.iter(|| {
+            black_box(harness.step());
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_world_step,
+    bench_sensor_sample,
+    bench_can_roundtrip,
+    bench_bus,
+    bench_context_matching,
+    bench_attack_engine_observe,
+    bench_harness_tick
+);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Honda-style frame integrity: 4-bit nibble checksum and 2-bit rolling
+//! counter.
+//!
+//! The checksum is the one the attack must forge: after corrupting a signal
+//! the attacker "updates the checksum ... so the integrity of the corrupted
+//! CAN message is maintained" (paper §III-C). The algorithm mirrors
+//! opendbc's `honda_checksum`: sum every nibble of the extended address and
+//! of the payload (excluding the checksum nibble itself), then take
+//! `(8 - sum) & 0xF`.
+
+/// Computes the Honda nibble checksum for a frame.
+///
+/// `data` is the full payload; the checksum is assumed to live in the low
+/// nibble of the last byte, which is excluded from the sum.
+///
+/// # Examples
+///
+/// ```
+/// let data = [0x12, 0x34, 0x00, 0x00, 0x00, 0x60];
+/// let cs = canbus::checksum::honda_checksum(0xE4, &data);
+/// assert!(cs <= 0xF);
+/// ```
+pub fn honda_checksum(id: u16, data: &[u8]) -> u8 {
+    let mut sum: u32 = 0;
+    // Address nibbles.
+    let mut addr = id as u32;
+    while addr > 0 {
+        sum += addr & 0xF;
+        addr >>= 4;
+    }
+    // Data nibbles, excluding the checksum nibble (low nibble of last byte).
+    for (i, b) in data.iter().enumerate() {
+        sum += (*b as u32) >> 4;
+        if i != data.len() - 1 {
+            sum += (*b as u32) & 0xF;
+        }
+    }
+    ((8u32.wrapping_sub(sum)) & 0xF) as u8
+}
+
+/// Verifies the checksum carried in the low nibble of the last byte.
+pub fn verify_honda_checksum(id: u16, data: &[u8]) -> bool {
+    match data.last() {
+        Some(last) => (last & 0xF) == honda_checksum(id, data),
+        None => false,
+    }
+}
+
+/// Applies the checksum in place (low nibble of the last byte).
+pub fn apply_honda_checksum(id: u16, data: &mut [u8]) {
+    if data.is_empty() {
+        return;
+    }
+    let cs = honda_checksum(id, data);
+    let last = data.len() - 1;
+    data[last] = (data[last] & 0xF0) | cs;
+}
+
+/// A 2-bit rolling counter, incremented per transmission of a message.
+/// Receivers use it to detect dropped or replayed frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RollingCounter(u8);
+
+impl RollingCounter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the current value and advances to the next (mod 4).
+    pub fn next_value(&mut self) -> u8 {
+        let v = self.0;
+        self.0 = (self.0 + 1) & 0x3;
+        v
+    }
+
+    /// Peeks at the value that the next call to [`Self::next_value`] returns.
+    pub fn peek(&self) -> u8 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_a_nibble() {
+        for id in [0x0, 0xE4, 0x1FA, 0x7FF] {
+            for fill in [0x00u8, 0x5A, 0xFF] {
+                let data = [fill; 8];
+                assert!(honda_checksum(id, &data) <= 0xF);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_then_verify() {
+        let mut data = [0x12, 0x34, 0x00, 0x00, 0x00, 0x00];
+        apply_honda_checksum(0xE4, &mut data);
+        assert!(verify_honda_checksum(0xE4, &data));
+    }
+
+    #[test]
+    fn corruption_without_fixup_fails_verification() {
+        let mut data = [0x12, 0x34, 0x00, 0x00, 0x00, 0x00];
+        apply_honda_checksum(0xE4, &mut data);
+        data[1] = 0x35; // naive attacker flips a signal bit
+        assert!(
+            !verify_honda_checksum(0xE4, &data),
+            "receiver must reject a frame whose checksum was not recomputed"
+        );
+        // The paper's attacker recomputes it, and verification passes again.
+        apply_honda_checksum(0xE4, &mut data);
+        assert!(verify_honda_checksum(0xE4, &data));
+    }
+
+    #[test]
+    fn checksum_depends_on_address() {
+        let data = [0x12, 0x34, 0x00, 0x00, 0x00, 0x00];
+        assert_ne!(honda_checksum(0xE4, &data), honda_checksum(0xE5, &data));
+    }
+
+    #[test]
+    fn empty_payload_never_verifies() {
+        assert!(!verify_honda_checksum(0xE4, &[]));
+        let mut empty: [u8; 0] = [];
+        apply_honda_checksum(0xE4, &mut empty); // must not panic
+    }
+
+    #[test]
+    fn rolling_counter_wraps_mod_4() {
+        let mut c = RollingCounter::new();
+        let seq: Vec<u8> = (0..6).map(|_| c.next_value()).collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 0, 1]);
+        assert_eq!(c.peek(), 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! Frame encoding and decoding against [`MessageSpec`]s.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::checksum::{apply_honda_checksum, verify_honda_checksum, RollingCounter};
+use crate::{CanError, CanFrame, MessageSpec};
+
+/// Encodes frames, maintaining one rolling counter per message id, the way a
+/// transmitting ECU does.
+///
+/// # Examples
+///
+/// ```
+/// use canbus::{Encoder, VirtualCarDbc, decode};
+///
+/// let dbc = VirtualCarDbc::new();
+/// let mut enc = Encoder::new();
+/// let f0 = enc.encode(dbc.gas_command(), &[("ACCEL_CMD", 1.5)])?;
+/// let f1 = enc.encode(dbc.gas_command(), &[("ACCEL_CMD", 1.5)])?;
+/// // Identical payloads still differ: the rolling counter advanced.
+/// assert_ne!(f0, f1);
+/// assert!((decode(dbc.gas_command(), &f1)?["ACCEL_CMD"] - 1.5).abs() < 1e-9);
+/// # Ok::<(), canbus::CanError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Encoder {
+    counters: HashMap<u16, RollingCounter>,
+}
+
+impl Encoder {
+    /// Creates an encoder with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes the given `(signal, physical value)` pairs into a frame,
+    /// filling in the rolling counter and checksum automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::UnknownSignal`] for names not in the spec and
+    /// [`CanError::ValueOutOfRange`] for values that do not fit.
+    pub fn encode(
+        &mut self,
+        spec: &MessageSpec,
+        values: &[(&str, f64)],
+    ) -> Result<CanFrame, CanError> {
+        let mut data = [0u8; 8];
+        for (name, value) in values {
+            let signal = spec.require_signal(name)?;
+            let raw = signal.phys_to_raw(*value)?;
+            signal.insert_raw(&mut data, raw);
+        }
+        if let Some(counter_name) = spec.counter_signal {
+            let counter = self.counters.entry(spec.id).or_default();
+            let signal = spec.require_signal(counter_name)?;
+            signal.insert_raw(&mut data, counter.next_value() as u64);
+        }
+        if spec.checksum_signal.is_some() {
+            apply_honda_checksum(spec.id, &mut data[..spec.dlc as usize]);
+        }
+        CanFrame::new(spec.id, &data[..spec.dlc as usize])
+    }
+}
+
+fn frame_data(frame: &CanFrame) -> [u8; 8] {
+    let mut data = [0u8; 8];
+    data[..frame.data().len()].copy_from_slice(frame.data());
+    data
+}
+
+/// Decodes all signals of a frame, verifying its checksum first.
+///
+/// This is what a receiving ECU does; frames that fail verification are
+/// dropped on a real bus, which is why the paper's attacker must recompute
+/// the checksum after corrupting a signal.
+///
+/// # Errors
+///
+/// Returns [`CanError::IdMismatch`] if the frame id differs from the spec and
+/// [`CanError::ChecksumMismatch`] if verification fails.
+pub fn decode(
+    spec: &MessageSpec,
+    frame: &CanFrame,
+) -> Result<BTreeMap<&'static str, f64>, CanError> {
+    if frame.id() != spec.id {
+        return Err(CanError::IdMismatch {
+            expected: spec.id,
+            actual: frame.id(),
+        });
+    }
+    if spec.checksum_signal.is_some() && !verify_honda_checksum(spec.id, frame.data()) {
+        let found = frame.data().last().map_or(0, |b| b & 0xF);
+        let computed = crate::checksum::honda_checksum(spec.id, frame.data());
+        return Err(CanError::ChecksumMismatch { found, computed });
+    }
+    Ok(decode_unchecked(spec, frame))
+}
+
+/// Decodes all signals without verifying the checksum. Useful for an
+/// eavesdropper who only reads, or for diagnosing corrupted traffic.
+pub fn decode_unchecked(spec: &MessageSpec, frame: &CanFrame) -> BTreeMap<&'static str, f64> {
+    let data = frame_data(frame);
+    spec.signals
+        .iter()
+        .map(|s| (s.name, s.raw_to_phys(s.extract_raw(&data))))
+        .collect()
+}
+
+/// Rewrites one signal of an existing frame in place, preserving every other
+/// bit (including the rolling counter) and recomputing the checksum — the
+/// man-in-the-middle operation of the paper's Fig. 4.
+///
+/// # Errors
+///
+/// Returns [`CanError::IdMismatch`], [`CanError::UnknownSignal`] or
+/// [`CanError::ValueOutOfRange`] under the corresponding conditions.
+pub fn rewrite_signal(
+    spec: &MessageSpec,
+    frame: &CanFrame,
+    name: &str,
+    value: f64,
+) -> Result<CanFrame, CanError> {
+    if frame.id() != spec.id {
+        return Err(CanError::IdMismatch {
+            expected: spec.id,
+            actual: frame.id(),
+        });
+    }
+    let signal = spec.require_signal(name)?;
+    let raw = signal.phys_to_raw(value)?;
+    let mut data = frame_data(frame);
+    signal.insert_raw(&mut data, raw);
+    if spec.checksum_signal.is_some() {
+        apply_honda_checksum(spec.id, &mut data[..spec.dlc as usize]);
+    }
+    CanFrame::new(spec.id, &data[..spec.dlc as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VirtualCarDbc;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let dbc = VirtualCarDbc::new();
+        let mut enc = Encoder::new();
+        let frame = enc
+            .encode(
+                dbc.steering_control(),
+                &[("STEER_ANGLE_CMD", -0.25), ("STEER_REQ", 1.0)],
+            )
+            .unwrap();
+        let map = decode(dbc.steering_control(), &frame).unwrap();
+        assert!((map["STEER_ANGLE_CMD"] + 0.25).abs() < 1e-9);
+        assert_eq!(map["STEER_REQ"], 1.0);
+    }
+
+    #[test]
+    fn counter_advances_per_message_id() {
+        let dbc = VirtualCarDbc::new();
+        let mut enc = Encoder::new();
+        let f0 = enc.encode(dbc.gas_command(), &[("ACCEL_CMD", 0.0)]).unwrap();
+        let f1 = enc.encode(dbc.gas_command(), &[("ACCEL_CMD", 0.0)]).unwrap();
+        let c0 = decode(dbc.gas_command(), &f0).unwrap()["COUNTER"];
+        let c1 = decode(dbc.gas_command(), &f1).unwrap()["COUNTER"];
+        assert_eq!(c0, 0.0);
+        assert_eq!(c1, 1.0);
+        // A different message has its own counter.
+        let b = enc.encode(dbc.brake_command(), &[("BRAKE_CMD", 0.0)]).unwrap();
+        assert_eq!(decode(dbc.brake_command(), &b).unwrap()["COUNTER"], 0.0);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_id() {
+        let dbc = VirtualCarDbc::new();
+        let mut enc = Encoder::new();
+        let frame = enc.encode(dbc.gas_command(), &[("ACCEL_CMD", 0.0)]).unwrap();
+        assert!(matches!(
+            decode(dbc.steering_control(), &frame),
+            Err(CanError::IdMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bit_flips() {
+        let dbc = VirtualCarDbc::new();
+        let mut enc = Encoder::new();
+        let mut frame = enc
+            .encode(dbc.steering_control(), &[("STEER_ANGLE_CMD", 0.1)])
+            .unwrap();
+        frame.data_mut()[0] ^= 0x01;
+        assert!(matches!(
+            decode(dbc.steering_control(), &frame),
+            Err(CanError::ChecksumMismatch { .. })
+        ));
+        // The eavesdropper's unchecked decode still works.
+        let _ = decode_unchecked(dbc.steering_control(), &frame);
+    }
+
+    #[test]
+    fn rewrite_preserves_other_signals_and_fixes_checksum() {
+        let dbc = VirtualCarDbc::new();
+        let spec = dbc.steering_control();
+        let mut enc = Encoder::new();
+        // Advance the counter a bit first.
+        enc.encode(spec, &[("STEER_ANGLE_CMD", 0.0)]).unwrap();
+        let original = enc
+            .encode(spec, &[("STEER_ANGLE_CMD", 0.05), ("STEER_REQ", 1.0)])
+            .unwrap();
+
+        let attacked = rewrite_signal(spec, &original, "STEER_ANGLE_CMD", 0.5).unwrap();
+        let map = decode(spec, &attacked).expect("checksum must verify after rewrite");
+        assert!((map["STEER_ANGLE_CMD"] - 0.5).abs() < 1e-9);
+        assert_eq!(map["STEER_REQ"], 1.0, "untouched signal preserved");
+        assert_eq!(
+            map["COUNTER"],
+            decode(spec, &original).unwrap()["COUNTER"],
+            "rolling counter preserved so the receiver sees no gap"
+        );
+    }
+
+    #[test]
+    fn rewrite_rejects_out_of_range_value() {
+        let dbc = VirtualCarDbc::new();
+        let spec = dbc.steering_control();
+        let mut enc = Encoder::new();
+        let frame = enc.encode(spec, &[("STEER_ANGLE_CMD", 0.0)]).unwrap();
+        // 16-bit signed at 0.01 deg/bit tops out at 327.67 deg.
+        assert!(matches!(
+            rewrite_signal(spec, &frame, "STEER_ANGLE_CMD", 400.0),
+            Err(CanError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_signal_errors() {
+        let dbc = VirtualCarDbc::new();
+        let mut enc = Encoder::new();
+        assert!(matches!(
+            enc.encode(dbc.gas_command(), &[("NOPE", 1.0)]),
+            Err(CanError::UnknownSignal { .. })
+        ));
+    }
+}

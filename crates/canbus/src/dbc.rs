@@ -1,0 +1,241 @@
+//! The message database (DBC) of the simulated vehicle.
+//!
+//! Layouts follow the Honda family that OpenPilot's opendbc describes and the
+//! paper attacks: big-endian signals, a 2-bit rolling counter in bits 5–4 of
+//! the last byte and the 4-bit nibble checksum in bits 3–0.
+
+use crate::{ByteOrder, MessageSpec, Signal};
+
+/// Identifier of the steering command message (`0xE4`, as in the paper's
+/// Fig. 4).
+pub const STEERING_CONTROL_ID: u16 = 0xE4;
+/// Identifier of the gas (acceleration) command message.
+pub const GAS_COMMAND_ID: u16 = 0x200;
+/// Identifier of the brake command message.
+pub const BRAKE_COMMAND_ID: u16 = 0x1FA;
+/// Identifier of the wheel-speed feedback message.
+pub const WHEEL_SPEEDS_ID: u16 = 0x1D0;
+/// Identifier of the steering-angle feedback message.
+pub const STEER_STATUS_ID: u16 = 0x18F;
+
+fn be(name: &'static str, start_bit: u16, length: u8, factor: f64, signed: bool) -> Signal {
+    Signal {
+        name,
+        start_bit,
+        length,
+        factor,
+        offset: 0.0,
+        signed,
+        order: ByteOrder::BigEndian,
+    }
+}
+
+/// Counter/checksum pair at the tail of a message of the given dlc.
+fn tail(dlc: u8) -> (Signal, Signal) {
+    let last_byte_msb = (dlc as u16 - 1) * 8;
+    (
+        be("COUNTER", last_byte_msb + 5, 2, 1.0, false),
+        be("CHECKSUM", last_byte_msb + 3, 4, 1.0, false),
+    )
+}
+
+fn command_message(
+    id: u16,
+    name: &'static str,
+    value_signal: &'static str,
+    factor: f64,
+    req_signal: &'static str,
+) -> MessageSpec {
+    let dlc = 6;
+    let (counter, checksum) = tail(dlc);
+    MessageSpec {
+        id,
+        name,
+        dlc,
+        signals: vec![
+            be(value_signal, 7, 16, factor, true),
+            be(req_signal, 23, 1, 1.0, false),
+            counter,
+            checksum,
+        ],
+        checksum_signal: Some("CHECKSUM"),
+        counter_signal: Some("COUNTER"),
+    }
+}
+
+/// The full message database of the virtual car.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualCarDbc {
+    messages: Vec<MessageSpec>,
+}
+
+impl Default for VirtualCarDbc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VirtualCarDbc {
+    /// Builds the database.
+    pub fn new() -> Self {
+        let (ws_counter, ws_checksum) = tail(8);
+        let messages = vec![
+            // Actuator commands (ADAS -> car), the attack's targets.
+            command_message(
+                STEERING_CONTROL_ID,
+                "STEERING_CONTROL",
+                "STEER_ANGLE_CMD",
+                0.01, // degrees per bit
+                "STEER_REQ",
+            ),
+            command_message(
+                GAS_COMMAND_ID,
+                "GAS_COMMAND",
+                "ACCEL_CMD",
+                0.001, // m/s^2 per bit
+                "GAS_REQ",
+            ),
+            command_message(
+                BRAKE_COMMAND_ID,
+                "BRAKE_COMMAND",
+                "BRAKE_CMD",
+                0.001, // m/s^2 per bit (negative = decelerate)
+                "BRAKE_REQ",
+            ),
+            // Feedback (car -> ADAS).
+            MessageSpec {
+                id: WHEEL_SPEEDS_ID,
+                name: "WHEEL_SPEEDS",
+                dlc: 8,
+                signals: vec![
+                    be("WHEEL_SPEED_FL", 7, 16, 0.01, false),
+                    be("WHEEL_SPEED_FR", 23, 16, 0.01, false),
+                    ws_counter,
+                    ws_checksum,
+                ],
+                checksum_signal: Some("CHECKSUM"),
+                counter_signal: Some("COUNTER"),
+            },
+            MessageSpec {
+                id: STEER_STATUS_ID,
+                name: "STEER_STATUS",
+                dlc: 6,
+                signals: {
+                    let (c, k) = tail(6);
+                    vec![be("STEER_ANGLE", 7, 16, 0.01, true), c, k]
+                },
+                checksum_signal: Some("CHECKSUM"),
+                counter_signal: Some("COUNTER"),
+            },
+        ];
+        Self { messages }
+    }
+
+    /// All message specs.
+    pub fn messages(&self) -> &[MessageSpec] {
+        &self.messages
+    }
+
+    /// Looks up a message by frame identifier.
+    pub fn by_id(&self, id: u16) -> Option<&MessageSpec> {
+        self.messages.iter().find(|m| m.id == id)
+    }
+
+    /// Looks up a message by name.
+    pub fn by_name(&self, name: &str) -> Option<&MessageSpec> {
+        self.messages.iter().find(|m| m.name == name)
+    }
+
+    /// The steering command message (`0xE4`).
+    pub fn steering_control(&self) -> &MessageSpec {
+        self.by_id(STEERING_CONTROL_ID).expect("always present")
+    }
+
+    /// The gas command message.
+    pub fn gas_command(&self) -> &MessageSpec {
+        self.by_id(GAS_COMMAND_ID).expect("always present")
+    }
+
+    /// The brake command message.
+    pub fn brake_command(&self) -> &MessageSpec {
+        self.by_id(BRAKE_COMMAND_ID).expect("always present")
+    }
+
+    /// The wheel-speed feedback message.
+    pub fn wheel_speeds(&self) -> &MessageSpec {
+        self.by_id(WHEEL_SPEEDS_ID).expect("always present")
+    }
+
+    /// The steering-angle feedback message.
+    pub fn steer_status(&self) -> &MessageSpec {
+        self.by_id(STEER_STATUS_ID).expect("always present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let dbc = VirtualCarDbc::new();
+        let ids: Vec<u16> = dbc.messages().iter().map(|m| m.id).collect();
+        for (i, a) in ids.iter().enumerate() {
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn steering_message_matches_paper() {
+        let dbc = VirtualCarDbc::new();
+        let steer = dbc.steering_control();
+        assert_eq!(steer.id, 0xE4, "paper Fig. 4 uses 0xE4 for steering");
+        assert!(steer.signal("STEER_ANGLE_CMD").is_some());
+        assert_eq!(steer.checksum_signal, Some("CHECKSUM"));
+    }
+
+    #[test]
+    fn checksum_signal_occupies_low_nibble_of_last_byte() {
+        // The Honda checksum algorithm assumes this placement; verify it for
+        // every protected message.
+        let dbc = VirtualCarDbc::new();
+        for m in dbc.messages() {
+            if let Some(name) = m.checksum_signal {
+                let s = m.signal(name).expect("checksum signal exists");
+                assert_eq!(s.length, 4, "{}: checksum is a nibble", m.name);
+                assert_eq!(
+                    s.start_bit,
+                    (m.dlc as u16 - 1) * 8 + 3,
+                    "{}: checksum MSB at bit 3 of last byte",
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_id_and_name_agree() {
+        let dbc = VirtualCarDbc::new();
+        for m in dbc.messages() {
+            assert_eq!(dbc.by_id(m.id), Some(m));
+            assert_eq!(dbc.by_name(m.name), Some(m));
+        }
+        assert!(dbc.by_id(0x123).is_none());
+        assert!(dbc.by_name("NOPE").is_none());
+    }
+
+    #[test]
+    fn command_messages_have_counters() {
+        let dbc = VirtualCarDbc::new();
+        for accessor in [
+            VirtualCarDbc::steering_control,
+            VirtualCarDbc::gas_command,
+            VirtualCarDbc::brake_command,
+        ] {
+            let m = accessor(&dbc);
+            assert_eq!(m.counter_signal, Some("COUNTER"), "{}", m.name);
+        }
+    }
+}

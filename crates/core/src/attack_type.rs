@@ -1,0 +1,149 @@
+//! The six attack types of the paper's Table II and their component actions.
+
+use serde::{Deserialize, Serialize};
+
+/// Which way a steering attack pushes the car.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SteerDirection {
+    /// Toward the neighbouring lane (positive steering angle).
+    Left,
+    /// Toward the nearby guardrail (negative steering angle).
+    Right,
+}
+
+impl SteerDirection {
+    /// Sign of the steering angle for this direction.
+    pub fn sign(self) -> f64 {
+        match self {
+            SteerDirection::Left => 1.0,
+            SteerDirection::Right => -1.0,
+        }
+    }
+}
+
+/// An elementary unsafe control action (the `u₁..u₄` of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackAction {
+    /// `u₁`: maximum gas, zero brake.
+    Accelerate,
+    /// `u₂`: maximum brake, zero gas.
+    Decelerate,
+    /// `u₃` / `u₄`: steer toward a lane edge.
+    Steer(SteerDirection),
+}
+
+/// The attack types of Table II: each experiment injects faults into one
+/// output variable or a combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackType {
+    /// Corrupt gas (max) and brake (zero).
+    Acceleration,
+    /// Corrupt brake (max) and gas (zero).
+    Deceleration,
+    /// Corrupt the steering angle toward the left.
+    SteeringLeft,
+    /// Corrupt the steering angle toward the right.
+    SteeringRight,
+    /// Corrupt gas and steering together.
+    AccelerationSteering,
+    /// Corrupt brake and steering together.
+    DecelerationSteering,
+}
+
+impl AttackType {
+    /// All six types, in the paper's table order.
+    pub const ALL: [AttackType; 6] = [
+        AttackType::Acceleration,
+        AttackType::Deceleration,
+        AttackType::SteeringLeft,
+        AttackType::SteeringRight,
+        AttackType::AccelerationSteering,
+        AttackType::DecelerationSteering,
+    ];
+
+    /// Whether this type corrupts the longitudinal command, and in which
+    /// direction (`Some(Accelerate)` / `Some(Decelerate)`).
+    pub fn longitudinal(self) -> Option<AttackAction> {
+        match self {
+            AttackType::Acceleration | AttackType::AccelerationSteering => {
+                Some(AttackAction::Accelerate)
+            }
+            AttackType::Deceleration | AttackType::DecelerationSteering => {
+                Some(AttackAction::Decelerate)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this type corrupts steering. Pure steering types have a fixed
+    /// direction; combined types choose per-context (`None` direction here).
+    pub fn steering(self) -> Option<Option<SteerDirection>> {
+        match self {
+            AttackType::SteeringLeft => Some(Some(SteerDirection::Left)),
+            AttackType::SteeringRight => Some(Some(SteerDirection::Right)),
+            AttackType::AccelerationSteering | AttackType::DecelerationSteering => Some(None),
+            _ => None,
+        }
+    }
+
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackType::Acceleration => "Acceleration",
+            AttackType::Deceleration => "Deceleration",
+            AttackType::SteeringLeft => "Steering-Left",
+            AttackType::SteeringRight => "Steering-Right",
+            AttackType::AccelerationSteering => "Acceleration-Steering",
+            AttackType::DecelerationSteering => "Deceleration-Steering",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_breakdown_matches_table_ii() {
+        use AttackAction::*;
+        assert_eq!(AttackType::Acceleration.longitudinal(), Some(Accelerate));
+        assert_eq!(AttackType::Acceleration.steering(), None);
+        assert_eq!(AttackType::Deceleration.longitudinal(), Some(Decelerate));
+        assert_eq!(
+            AttackType::SteeringLeft.steering(),
+            Some(Some(SteerDirection::Left))
+        );
+        assert_eq!(AttackType::SteeringLeft.longitudinal(), None);
+        assert_eq!(
+            AttackType::AccelerationSteering.longitudinal(),
+            Some(Accelerate)
+        );
+        assert_eq!(AttackType::AccelerationSteering.steering(), Some(None));
+        assert_eq!(
+            AttackType::DecelerationSteering.longitudinal(),
+            Some(Decelerate)
+        );
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<_> = AttackType::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "Acceleration",
+                "Deceleration",
+                "Steering-Left",
+                "Steering-Right",
+                "Acceleration-Steering",
+                "Deceleration-Steering"
+            ]
+        );
+    }
+
+    #[test]
+    fn steer_direction_signs() {
+        assert_eq!(SteerDirection::Left.sign(), 1.0);
+        assert_eq!(SteerDirection::Right.sign(), -1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the defense components.
+
+use defense::{ContextMonitor, ContextObservation, ControlInvariantDetector, MonitorVerdict};
+use proptest::prelude::*;
+use units::{Accel, Angle, Distance, Seconds, Speed, Tick, DT};
+
+proptest! {
+    /// The invariant detector never alarms when the executed command equals
+    /// the issued command, whatever the command profile.
+    #[test]
+    fn faithful_profiles_never_alarm(
+        cmds in proptest::collection::vec(-3.5..2.0f64, 100..800),
+        v0 in 5.0..35.0f64,
+    ) {
+        let mut det = ControlInvariantDetector::default();
+        let (mut v, mut a) = (v0, 0.0);
+        for (i, cmd) in cmds.iter().enumerate() {
+            let dt = DT.secs();
+            a += (cmd - a) * (dt / (0.25 + dt));
+            v = (v + a * dt).max(0.0);
+            det.step(
+                Tick::new(i as u64),
+                Accel::from_mps2(*cmd),
+                Angle::ZERO,
+                Speed::from_mps(v),
+                0.0,
+            );
+        }
+        prop_assert_eq!(det.detected_at(), None);
+    }
+
+    /// A sustained large override is always detected, for any override
+    /// magnitude ≥ 2.5 m/s² of mismatch.
+    #[test]
+    fn large_overrides_are_always_detected(
+        commanded in -1.0..1.0f64,
+        mismatch in 2.5..5.0f64,
+        sign in any::<bool>(),
+    ) {
+        let executed = commanded + if sign { mismatch } else { -mismatch };
+        let mut det = ControlInvariantDetector::default();
+        let (mut v, mut a) = (20.0, 0.0);
+        for i in 0..400u64 {
+            let dt = DT.secs();
+            a += (executed - a) * (dt / (0.25 + dt));
+            v = (v + a * dt).clamp(0.5, 60.0); // keep moving so braking stays observable
+            det.step(
+                Tick::new(i),
+                Accel::from_mps2(commanded),
+                Angle::ZERO,
+                Speed::from_mps(v),
+                0.0,
+            );
+        }
+        prop_assert!(det.detected_at().is_some());
+        prop_assert!(det.detected_at().unwrap().time() < Seconds::new(2.5),
+            "faster than the human driver");
+    }
+
+    /// The monitor's verdict is Safe whenever the context has generous
+    /// margins, whatever the (bounded) command.
+    #[test]
+    fn benign_context_is_always_safe(
+        accel in -2.0..0.8f64,
+        steer in -0.12..0.12f64,
+        hwt in 3.0..10.0f64,
+    ) {
+        let mut m = ContextMonitor::default();
+        let obs = ContextObservation {
+            v_ego: Speed::from_mph(60.0),
+            hwt: Some(Seconds::new(hwt)),
+            rs: Some(Speed::from_mps(1.0)),
+            d_left: Distance::meters(0.9),
+            d_right: Distance::meters(0.9),
+        };
+        for i in 0..200u64 {
+            let v = m.check(
+                Tick::new(i),
+                &obs,
+                Accel::from_mps2(accel),
+                Angle::from_degrees(steer),
+            );
+            prop_assert_eq!(v, MonitorVerdict::Safe);
+        }
+        prop_assert_eq!(m.detected_at(), None);
+    }
+}

@@ -1,0 +1,61 @@
+//! The panic-brake profile, Eq. 4 of the paper.
+
+use units::Seconds;
+
+/// Fraction of full braking applied `t` seconds after the driver starts to
+/// brake: `e^(10t−12) / (1 + e^(10t−12))` (Gaspar & McGehee's fit of driver
+/// responses to sudden unintended acceleration; paper Eq. 4).
+///
+/// The sigmoid is near zero for the first ~0.8 s (moving the foot), crosses
+/// 50% at 1.2 s and is essentially complete by 1.5 s — "typically human
+/// drivers respond to sudden unintended acceleration with a hard brake
+/// within 1.5 seconds".
+///
+/// # Examples
+///
+/// ```
+/// use driver_model::brake_curve;
+/// use units::Seconds;
+///
+/// assert!(brake_curve(Seconds::new(0.0)) < 0.01);
+/// assert!((brake_curve(Seconds::new(1.2)) - 0.5).abs() < 1e-9);
+/// assert!(brake_curve(Seconds::new(1.5)) > 0.9);
+/// ```
+pub fn brake_curve(t: Seconds) -> f64 {
+    let x = (10.0 * t.secs() - 12.0).exp();
+    x / (1.0 + x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_increasing() {
+        let mut prev = -1.0;
+        for i in 0..=300 {
+            let v = brake_curve(Seconds::new(i as f64 * 0.01));
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn bounded_zero_one() {
+        for t in [-5.0, 0.0, 0.5, 1.2, 2.0, 10.0] {
+            let v = brake_curve(Seconds::new(t));
+            assert!((0.0..=1.0).contains(&v), "t={t} v={v}");
+        }
+    }
+
+    #[test]
+    fn half_brake_at_1_2_seconds() {
+        assert!((brake_curve(Seconds::new(1.2)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn essentially_complete_by_1_5_seconds() {
+        assert!(brake_curve(Seconds::new(1.5)) > 0.95);
+        assert!(brake_curve(Seconds::new(2.0)) > 0.999);
+    }
+}

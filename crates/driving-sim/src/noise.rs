@@ -1,0 +1,95 @@
+//! Seeded stochastic processes for the sensor models.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A discrete Ornstein–Uhlenbeck process: mean-reverting coloured noise.
+///
+/// White Gaussian noise alone would average out over the ADAS's filters; the
+/// slowly-wandering component is what makes the lane-perception estimate
+/// drift the way a camera model's does, producing the lane wander (and the
+/// occasional attack-free lane invasion) that the paper reports in Fig. 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrnsteinUhlenbeck {
+    theta: f64,
+    sigma: f64,
+    dt: f64,
+    x: f64,
+}
+
+impl OrnsteinUhlenbeck {
+    /// Creates a process with mean-reversion rate `theta` (1/s), noise scale
+    /// `sigma` and step `dt` seconds, starting at zero.
+    pub fn new(theta: f64, sigma: f64, dt: f64) -> Self {
+        Self {
+            theta,
+            sigma,
+            dt,
+            x: 0.0,
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.x
+    }
+
+    /// Advances one step and returns the new value.
+    pub fn step(&mut self, rng: &mut StdRng) -> f64 {
+        let gauss = gaussian(rng);
+        self.x += -self.theta * self.x * self.dt + self.sigma * self.dt.sqrt() * gauss;
+        self.x
+    }
+}
+
+/// A standard-normal sample via Box–Muller (keeps us off rand_distr).
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn ou_is_mean_reverting() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ou = OrnsteinUhlenbeck::new(0.5, 0.2, 0.01);
+        let mut acc = 0.0;
+        let mut max_abs: f64 = 0.0;
+        for _ in 0..50_000 {
+            let v = ou.step(&mut rng);
+            acc += v;
+            max_abs = max_abs.max(v.abs());
+        }
+        let mean = acc / 50_000.0;
+        assert!(mean.abs() < 0.05, "long-run mean near zero, got {mean}");
+        // Stationary std = sigma / sqrt(2 theta) = 0.2, so excursions stay bounded.
+        assert!(max_abs < 1.5, "max excursion {max_abs}");
+    }
+
+    #[test]
+    fn ou_is_deterministic_under_seed() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ou = OrnsteinUhlenbeck::new(1.0, 0.1, 0.01);
+            (0..100).map(|_| ou.step(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

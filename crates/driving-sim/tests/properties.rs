@@ -1,0 +1,93 @@
+//! Property-based tests on the simulator's physical invariants.
+
+use driving_sim::{ActuatorCommand, Scenario, ScenarioId, World};
+use proptest::prelude::*;
+use units::{Accel, Angle, Distance};
+
+fn any_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        prop::sample::select(ScenarioId::ALL.to_vec()),
+        prop::sample::select(vec![50.0, 70.0, 100.0]),
+    )
+        .prop_map(|(id, gap)| Scenario::new(id, Distance::meters(gap)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary (bounded) command sequences never break the world:
+    /// no NaNs, no negative speeds, collisions latch exactly once.
+    #[test]
+    fn world_invariants_under_arbitrary_commands(
+        scenario in any_scenario(),
+        seed in 0u64..10_000,
+        cmds in proptest::collection::vec((-10.0..5.0f64, -1.0..1.0f64), 50..400),
+    ) {
+        let mut world = World::new(scenario, seed);
+        let mut first_collision = None;
+        for (i, (a, s)) in cmds.iter().enumerate() {
+            world.step(ActuatorCommand {
+                accel: Accel::from_mps2(*a),
+                steer: Angle::from_degrees(*s),
+            });
+            let ego = world.ego();
+            prop_assert!(ego.speed().mps() >= 0.0);
+            prop_assert!(ego.speed().is_finite());
+            prop_assert!(ego.d().is_finite());
+            prop_assert!(ego.s().is_finite());
+            if let Some((t, k)) = world.collision() {
+                match first_collision {
+                    None => first_collision = Some((t, k, i)),
+                    Some((t0, k0, _)) => {
+                        prop_assert_eq!(t0, t, "collision latches");
+                        prop_assert_eq!(k0, k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The world is a pure function of (scenario, seed, command sequence).
+    #[test]
+    fn world_is_deterministic(
+        scenario in any_scenario(),
+        seed in 0u64..10_000,
+        cmds in proptest::collection::vec(-3.0..2.0f64, 10..150),
+    ) {
+        let run = || {
+            let mut w = World::new(scenario, seed);
+            for a in &cmds {
+                w.step(ActuatorCommand {
+                    accel: Accel::from_mps2(*a),
+                    steer: Angle::ZERO,
+                });
+            }
+            (
+                w.ego().s().raw(),
+                w.ego().d().raw(),
+                w.ego().speed().mps(),
+                w.lane_invasions(),
+                w.collision(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Lane-invasion count is monotone and the gap shrinks no faster than
+    /// the closing speed allows.
+    #[test]
+    fn bookkeeping_is_monotone(scenario in any_scenario(), seed in 0u64..1_000) {
+        let mut world = World::new(scenario, seed);
+        let mut last_invasions = 0;
+        let mut last_gap = world.gap().raw();
+        for _ in 0..500 {
+            world.step(ActuatorCommand::default());
+            prop_assert!(world.lane_invasions() >= last_invasions);
+            last_invasions = world.lane_invasions();
+            let gap = world.gap().raw();
+            // One tick at <= 45 m/s closing cannot move the gap by > 0.5 m.
+            prop_assert!((gap - last_gap).abs() < 0.5);
+            last_gap = gap;
+        }
+    }
+}

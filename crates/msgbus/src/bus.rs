@@ -1,0 +1,281 @@
+//! The in-process publisher/subscriber bus.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use units::Tick;
+
+use crate::{Envelope, MessageLog, Payload, Topic};
+
+/// Maximum number of undrained messages a subscriber may buffer before the
+/// oldest are discarded. Mirrors Cereal/ZMQ's conflate-or-drop behaviour and
+/// bounds memory in long campaigns.
+const SUBSCRIBER_QUEUE_CAP: usize = 4_096;
+
+#[derive(Debug, Default)]
+struct SubscriberQueue {
+    messages: VecDeque<Envelope>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct SubEntry {
+    topics: Vec<Topic>,
+    queue: Arc<Mutex<SubscriberQueue>>,
+}
+
+#[derive(Debug, Default)]
+struct BusInner {
+    subs: Vec<SubEntry>,
+    log: Option<MessageLog>,
+    seq: u64,
+}
+
+/// The message bus. Cloning is cheap and all clones address the same bus.
+///
+/// Anyone holding a bus handle may subscribe to any topic — there is no
+/// authentication, just like Cereal. This is the eavesdropping surface the
+/// paper's attack exploits (§III-C).
+///
+/// # Examples
+///
+/// ```
+/// use msgbus::{Bus, Topic, Payload};
+/// use msgbus::schema::CarControl;
+/// use units::Tick;
+///
+/// let bus = Bus::new();
+/// let mut sub = bus.subscribe(&[Topic::CarControl]);
+/// bus.publish(Tick::ZERO, Payload::CarControl(CarControl::default()));
+/// assert_eq!(sub.drain().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Bus {
+    inner: Arc<Mutex<BusInner>>,
+}
+
+impl Bus {
+    /// Creates a new, empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a subscriber for the given topics.
+    ///
+    /// Messages published after this call are queued for the subscriber;
+    /// earlier traffic is not replayed (use [`Bus::enable_logging`] to
+    /// capture history).
+    pub fn subscribe(&self, topics: &[Topic]) -> Subscriber {
+        let queue = Arc::new(Mutex::new(SubscriberQueue::default()));
+        self.inner.lock().subs.push(SubEntry {
+            topics: topics.to_vec(),
+            queue: Arc::clone(&queue),
+        });
+        Subscriber { queue }
+    }
+
+    /// Publishes a payload, delivering it to every matching subscriber.
+    ///
+    /// Returns the bus-wide sequence number assigned to the message.
+    pub fn publish(&self, tick: Tick, payload: Payload) -> u64 {
+        let mut inner = self.inner.lock();
+        let seq = inner.seq;
+        inner.seq += 1;
+        let env = Envelope::new(seq, tick, payload);
+        if let Some(log) = inner.log.as_mut() {
+            log.record(env.clone());
+        }
+        let topic = env.topic();
+        for sub in &inner.subs {
+            if sub.topics.contains(&topic) {
+                let mut q = sub.queue.lock();
+                if q.messages.len() >= SUBSCRIBER_QUEUE_CAP {
+                    q.messages.pop_front();
+                    q.dropped += 1;
+                }
+                q.messages.push_back(env.clone());
+            }
+        }
+        seq
+    }
+
+    /// Starts recording every published message into an internal
+    /// [`MessageLog`].
+    pub fn enable_logging(&self) {
+        let mut inner = self.inner.lock();
+        if inner.log.is_none() {
+            inner.log = Some(MessageLog::new());
+        }
+    }
+
+    /// Stops logging and returns the captured log, if logging was enabled.
+    pub fn take_log(&self) -> Option<MessageLog> {
+        self.inner.lock().log.take()
+    }
+
+    /// Number of messages published so far.
+    pub fn published_count(&self) -> u64 {
+        self.inner.lock().seq
+    }
+
+    /// Number of registered subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.lock().subs.len()
+    }
+}
+
+/// A receive handle returned by [`Bus::subscribe`].
+#[derive(Debug)]
+pub struct Subscriber {
+    queue: Arc<Mutex<SubscriberQueue>>,
+}
+
+impl Subscriber {
+    /// Removes and returns all queued messages, in publication order.
+    pub fn drain(&mut self) -> Vec<Envelope> {
+        self.queue.lock().messages.drain(..).collect()
+    }
+
+    /// Removes and returns the oldest queued message, if any.
+    pub fn try_recv(&mut self) -> Option<Envelope> {
+        self.queue.lock().messages.pop_front()
+    }
+
+    /// Number of messages waiting to be drained.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().messages.len()
+    }
+
+    /// Number of messages discarded because the queue overflowed.
+    pub fn dropped(&self) -> u64 {
+        self.queue.lock().dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{CarControl, CarState, GpsLocation, RadarState};
+    use units::{Accel, Angle};
+
+    fn gps() -> Payload {
+        Payload::GpsLocationExternal(GpsLocation::default())
+    }
+
+    #[test]
+    fn delivery_is_topic_filtered() {
+        let bus = Bus::new();
+        let mut gps_sub = bus.subscribe(&[Topic::GpsLocationExternal]);
+        let mut radar_sub = bus.subscribe(&[Topic::RadarState]);
+
+        bus.publish(Tick::ZERO, gps());
+        bus.publish(Tick::ZERO, Payload::RadarState(RadarState::default()));
+
+        assert_eq!(gps_sub.drain().len(), 1);
+        assert_eq!(radar_sub.drain().len(), 1);
+    }
+
+    #[test]
+    fn multi_topic_subscription_receives_all() {
+        let bus = Bus::new();
+        let mut sub = bus.subscribe(&[Topic::GpsLocationExternal, Topic::CarState]);
+        bus.publish(Tick::ZERO, gps());
+        bus.publish(Tick::new(1), Payload::CarState(CarState::default()));
+        let msgs = sub.drain();
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs[0].seq() < msgs[1].seq(), "publication order preserved");
+    }
+
+    #[test]
+    fn subscribers_do_not_steal_from_each_other() {
+        let bus = Bus::new();
+        let mut a = bus.subscribe(&[Topic::CarControl]);
+        let mut b = bus.subscribe(&[Topic::CarControl]);
+        bus.publish(
+            Tick::ZERO,
+            Payload::CarControl(CarControl {
+                accel: Accel::from_mps2(1.0),
+                steer: Angle::ZERO,
+            }),
+        );
+        assert_eq!(a.drain().len(), 1);
+        assert_eq!(b.drain().len(), 1, "fan-out, not work-stealing");
+    }
+
+    #[test]
+    fn no_replay_for_late_subscribers() {
+        let bus = Bus::new();
+        bus.publish(Tick::ZERO, gps());
+        let mut late = bus.subscribe(&[Topic::GpsLocationExternal]);
+        assert_eq!(late.drain().len(), 0);
+    }
+
+    #[test]
+    fn queue_overflow_drops_oldest() {
+        let bus = Bus::new();
+        let mut sub = bus.subscribe(&[Topic::GpsLocationExternal]);
+        for i in 0..(SUBSCRIBER_QUEUE_CAP as u64 + 10) {
+            bus.publish(Tick::new(i), gps());
+        }
+        assert_eq!(sub.pending(), SUBSCRIBER_QUEUE_CAP);
+        assert_eq!(sub.dropped(), 10);
+        let msgs = sub.drain();
+        // The 10 oldest were discarded.
+        assert_eq!(msgs[0].tick(), Tick::new(10));
+    }
+
+    #[test]
+    fn logging_captures_everything() {
+        let bus = Bus::new();
+        bus.enable_logging();
+        bus.publish(Tick::ZERO, gps());
+        bus.publish(Tick::new(1), Payload::CarState(CarState::default()));
+        let log = bus.take_log().expect("logging enabled");
+        assert_eq!(log.len(), 2);
+        assert!(bus.take_log().is_none(), "log can only be taken once");
+    }
+
+    #[test]
+    fn counters() {
+        let bus = Bus::new();
+        assert_eq!(bus.published_count(), 0);
+        assert_eq!(bus.subscriber_count(), 0);
+        let _sub = bus.subscribe(&[Topic::ModelV2]);
+        bus.publish(Tick::ZERO, gps());
+        assert_eq!(bus.published_count(), 1);
+        assert_eq!(bus.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let bus = Bus::new();
+        let bus2 = bus.clone();
+        let mut sub = bus.subscribe(&[Topic::GpsLocationExternal]);
+        bus2.publish(Tick::ZERO, gps());
+        assert_eq!(sub.drain().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_publish_is_safe() {
+        let bus = Bus::new();
+        let mut sub = bus.subscribe(&[Topic::GpsLocationExternal]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let bus = bus.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        bus.publish(Tick::new(i), gps());
+                    }
+                });
+            }
+        });
+        assert_eq!(bus.published_count(), 400);
+        let msgs = sub.drain();
+        assert_eq!(msgs.len(), 400);
+        // Sequence numbers are unique and strictly increasing in queue order.
+        for pair in msgs.windows(2) {
+            assert!(pair[0].seq() < pair[1].seq());
+        }
+    }
+}

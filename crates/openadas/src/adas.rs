@@ -1,0 +1,284 @@
+//! The assembled ADAS: one object consuming sensor messages and producing
+//! actuator CAN frames each 10 ms control cycle.
+
+use canbus::CanFrame;
+use msgbus::schema::{AlertKind, CarControl, ControlsState};
+use msgbus::{Bus, Payload, Subscriber, Topic};
+use units::{Accel, Speed, Tick};
+
+use crate::acc::AccOutput;
+use crate::alc::AlcOutput;
+use crate::{
+    AccController, AlcController, AlertManager, CarStateEstimator, CommandEncoder, LaneProcessor,
+    LeadTracker,
+};
+
+/// Everything the ADAS produced in one control cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdasOutput {
+    /// The high-level command (also published as `carControl`).
+    pub control: CarControl,
+    /// The actuator CAN frames (empty when disengaged).
+    pub frames: Vec<CanFrame>,
+    /// Alerts newly raised this cycle.
+    pub new_alerts: Vec<AlertKind>,
+    /// Whether the ADAS is engaged.
+    pub engaged: bool,
+    /// Longitudinal controller internals (desired vs. commanded).
+    pub acc: AccOutput,
+    /// Lateral controller internals (desired vs. commanded, saturation).
+    pub alc: AlcOutput,
+}
+
+/// The OpenPilot-style ADAS process.
+///
+/// Subscribes to the sensor topics on construction, consumes the latest
+/// sample of each per [`Adas::step`], and publishes `carState`, `carControl`
+/// and `controlsState` back onto the bus — the exact surface the paper's
+/// attacker eavesdrops on.
+#[derive(Debug)]
+pub struct Adas {
+    bus: Bus,
+    gps_sub: Subscriber,
+    model_sub: Subscriber,
+    radar_sub: Subscriber,
+    state: CarStateEstimator,
+    lanes: LaneProcessor,
+    leads: LeadTracker,
+    acc: AccController,
+    alc: AlcController,
+    alerts: AlertManager,
+    encoder: CommandEncoder,
+    last_control: CarControl,
+}
+
+impl Adas {
+    /// Creates an ADAS engaged at the given cruise set-speed, subscribed to
+    /// the sensor topics of `bus`.
+    pub fn new(bus: &Bus, v_cruise: Speed) -> Self {
+        Self {
+            bus: bus.clone(),
+            gps_sub: bus.subscribe(&[Topic::GpsLocationExternal]),
+            model_sub: bus.subscribe(&[Topic::ModelV2]),
+            radar_sub: bus.subscribe(&[Topic::RadarState]),
+            state: CarStateEstimator::new(v_cruise),
+            lanes: LaneProcessor::new(),
+            leads: LeadTracker::new(),
+            acc: AccController::new(),
+            alc: AlcController::new(),
+            alerts: AlertManager::new(),
+            encoder: CommandEncoder::new(),
+            last_control: CarControl::default(),
+        }
+    }
+
+    /// Whether the ADAS is engaged.
+    pub fn engaged(&self) -> bool {
+        self.state.engaged()
+    }
+
+    /// Disengages lateral and longitudinal control (driver override). The
+    /// ADAS keeps publishing state but stops commanding the actuators.
+    pub fn disengage(&mut self) {
+        self.state.disengage();
+    }
+
+    /// Total alert events raised so far.
+    pub fn alert_events(&self) -> u64 {
+        self.alerts.total_events()
+    }
+
+    /// Total FCW events raised so far (expected to remain zero, Observation 2).
+    pub fn fcw_events(&self) -> u64 {
+        self.alerts.fcw_events()
+    }
+
+    /// Runs one control cycle: drains sensor messages, updates estimators,
+    /// computes ACC + ALC, raises alerts, publishes state and returns the
+    /// actuator frames.
+    pub fn step(&mut self, tick: Tick) -> AdasOutput {
+        // Latest-sample-wins, like a real 100 Hz control loop.
+        for env in self.gps_sub.drain() {
+            if let Payload::GpsLocationExternal(gps) = env.payload() {
+                self.state.update(gps, self.last_control.steer);
+            }
+        }
+        for env in self.model_sub.drain() {
+            if let Payload::ModelV2(model) = env.payload() {
+                self.lanes.update(model);
+            }
+        }
+        for env in self.radar_sub.drain() {
+            if let Payload::RadarState(radar) = env.payload() {
+                self.leads.update(radar);
+            }
+        }
+
+        let car = self.state.state();
+        let lead = self.leads.lead();
+        let engaged = self.state.engaged();
+
+        let acc_out = self.acc.control(&car, lead.as_ref());
+        let alc_out = self.alc.control(&self.lanes.estimate());
+
+        let control = if engaged {
+            CarControl {
+                accel: acc_out.command,
+                steer: alc_out.command,
+            }
+        } else {
+            CarControl::default()
+        };
+        self.last_control = control;
+
+        let brake = control.accel.min(Accel::ZERO);
+        let new_alerts = self.alerts.step(engaged && alc_out.saturated, brake);
+
+        // Publish the internal state the attacker can observe.
+        self.bus.publish(tick, Payload::CarState(car));
+        self.bus.publish(tick, Payload::CarControl(control));
+        self.bus.publish(
+            tick,
+            Payload::ControlsState(ControlsState {
+                engaged,
+                alerts: new_alerts.clone(),
+            }),
+        );
+
+        let frames = if engaged {
+            self.encoder.encode(&control).expect("commands are clamped in range")
+        } else {
+            Vec::new()
+        };
+
+        AdasOutput {
+            control,
+            frames,
+            new_alerts,
+            engaged,
+            acc: acc_out,
+            alc: alc_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msgbus::schema::{GpsLocation, LaneModel, LeadTrack, RadarState};
+    use units::{Angle, Distance};
+
+    fn publish_sensors(bus: &Bus, tick: Tick, v: f64, offset: f64, lead: Option<(f64, f64)>) {
+        bus.publish(
+            tick,
+            Payload::GpsLocationExternal(GpsLocation {
+                speed: Speed::from_mps(v),
+                bearing: Angle::ZERO,
+            }),
+        );
+        let half = 1.85;
+        bus.publish(
+            tick,
+            Payload::ModelV2(LaneModel {
+                left_line: Distance::meters(half - offset),
+                right_line: Distance::meters(half + offset),
+                lane_width: Distance::meters(3.7),
+                curvature: 1.0 / 800.0,
+            }),
+        );
+        bus.publish(
+            tick,
+            Payload::RadarState(RadarState {
+                lead: lead.map(|(d, vl)| LeadTrack {
+                    d_rel: Distance::meters(d),
+                    v_lead: Speed::from_mps(vl),
+                    a_lead: Accel::ZERO,
+                }),
+            }),
+        );
+    }
+
+    #[test]
+    fn cruise_without_lead_accelerates_to_set_speed() {
+        let bus = Bus::new();
+        let mut adas = Adas::new(&bus, Speed::from_mph(60.0));
+        let mut out = None;
+        for i in 0..50 {
+            publish_sensors(&bus, Tick::new(i), 20.0, 0.0, None);
+            out = Some(adas.step(Tick::new(i)));
+        }
+        let out = out.unwrap();
+        assert!(out.engaged);
+        assert!(out.control.accel.mps2() > 1.0, "well below set speed");
+        assert_eq!(out.frames.len(), 3);
+    }
+
+    #[test]
+    fn brakes_for_slow_lead() {
+        let bus = Bus::new();
+        let mut adas = Adas::new(&bus, Speed::from_mph(60.0));
+        for i in 0..50 {
+            publish_sensors(&bus, Tick::new(i), 26.8, 0.0, Some((25.0, 15.6)));
+            adas.step(Tick::new(i));
+        }
+        publish_sensors(&bus, Tick::new(50), 26.8, 0.0, Some((25.0, 15.6)));
+        let out = adas.step(Tick::new(50));
+        assert!(out.control.accel.mps2() < -1.0, "got {}", out.control.accel);
+    }
+
+    #[test]
+    fn steers_back_toward_centre() {
+        let bus = Bus::new();
+        let mut adas = Adas::new(&bus, Speed::from_mph(60.0));
+        for i in 0..100 {
+            publish_sensors(&bus, Tick::new(i), 26.8, -0.5, None);
+            adas.step(Tick::new(i));
+        }
+        publish_sensors(&bus, Tick::new(100), 26.8, -0.5, None);
+        let out = adas.step(Tick::new(100));
+        // Right of centre on a left curve: definitely steering left.
+        assert!(out.control.steer.degrees() > 0.2, "got {}", out.control.steer);
+    }
+
+    #[test]
+    fn disengage_stops_frames_but_not_state() {
+        let bus = Bus::new();
+        let mut state_sub = bus.subscribe(&[Topic::CarState]);
+        let mut adas = Adas::new(&bus, Speed::from_mph(60.0));
+        publish_sensors(&bus, Tick::ZERO, 26.8, 0.0, None);
+        adas.disengage();
+        let out = adas.step(Tick::ZERO);
+        assert!(!out.engaged);
+        assert!(out.frames.is_empty());
+        assert_eq!(out.control, CarControl::default());
+        assert_eq!(state_sub.drain().len(), 1, "state still published");
+    }
+
+    #[test]
+    fn publishes_control_topics_every_cycle() {
+        let bus = Bus::new();
+        let mut sub = bus.subscribe(&[Topic::CarControl, Topic::ControlsState]);
+        let mut adas = Adas::new(&bus, Speed::from_mph(60.0));
+        publish_sensors(&bus, Tick::ZERO, 26.8, 0.0, None);
+        adas.step(Tick::ZERO);
+        assert_eq!(sub.drain().len(), 2);
+    }
+
+    #[test]
+    fn sustained_offset_saturates_and_alerts() {
+        let bus = Bus::new();
+        let mut adas = Adas::new(&bus, Speed::from_mph(60.0));
+        let mut alerted = false;
+        for i in 0..500 {
+            // A 6 m offset (two lanes out) demands far more steering than
+            // the limit, sustained well past the alert debounce.
+            publish_sensors(&bus, Tick::new(i), 26.8, 6.0, None);
+            let out = adas.step(Tick::new(i));
+            if out.new_alerts.contains(&AlertKind::SteerSaturated) {
+                alerted = true;
+            }
+        }
+        assert!(alerted, "steerSaturated raised for a large sustained offset");
+        assert_eq!(adas.fcw_events(), 0);
+    }
+}

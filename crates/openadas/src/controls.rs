@@ -1,0 +1,154 @@
+//! Translation between high-level commands and CAN actuator frames.
+//!
+//! This is the last computational stage before the physical bus — the stage
+//! the paper argues should host robust safety checks, because everything
+//! upstream can be bypassed by corrupting the frames here.
+
+use canbus::{decode, CanError, CanFrame, Encoder, VirtualCarDbc};
+use msgbus::schema::CarControl;
+use units::{Accel, Angle};
+
+/// Encodes [`CarControl`] commands into gas/brake/steering CAN frames and
+/// decodes them back on the actuator side.
+#[derive(Debug)]
+pub struct CommandEncoder {
+    dbc: VirtualCarDbc,
+    encoder: Encoder,
+}
+
+impl Default for CommandEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommandEncoder {
+    /// Creates an encoder over the virtual car's DBC.
+    pub fn new() -> Self {
+        Self {
+            dbc: VirtualCarDbc::new(),
+            encoder: Encoder::new(),
+        }
+    }
+
+    /// The message database in use.
+    pub fn dbc(&self) -> &VirtualCarDbc {
+        &self.dbc
+    }
+
+    /// Encodes one control cycle's command into its three actuator frames:
+    /// steering (`0xE4`), gas and brake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::ValueOutOfRange`] if a command exceeds its
+    /// signal's representable range (clamp upstream).
+    pub fn encode(&mut self, control: &CarControl) -> Result<Vec<CanFrame>, CanError> {
+        let gas = control.accel.max(Accel::ZERO);
+        let brake = control.accel.min(Accel::ZERO);
+        Ok(vec![
+            self.encoder.encode(
+                self.dbc.steering_control(),
+                &[
+                    ("STEER_ANGLE_CMD", control.steer.degrees()),
+                    ("STEER_REQ", 1.0),
+                ],
+            )?,
+            self.encoder.encode(
+                self.dbc.gas_command(),
+                &[("ACCEL_CMD", gas.mps2()), ("GAS_REQ", 1.0)],
+            )?,
+            self.encoder.encode(
+                self.dbc.brake_command(),
+                &[("BRAKE_CMD", brake.mps2()), ("BRAKE_REQ", 1.0)],
+            )?,
+        ])
+    }
+
+    /// Actuator-side decoding: folds a batch of delivered frames back into a
+    /// [`CarControl`], verifying checksums. Frames that fail verification are
+    /// dropped exactly as a real ECU drops them; fields without a valid frame
+    /// fall back to `base` (actuators hold their last valid command).
+    pub fn decode_actuators(&self, frames: &[CanFrame], base: CarControl) -> CarControl {
+        let mut out = base;
+        let mut gas = None;
+        let mut brake = None;
+        for frame in frames {
+            if frame.id() == self.dbc.steering_control().id {
+                if let Ok(map) = decode(self.dbc.steering_control(), frame) {
+                    out.steer = Angle::from_degrees(map["STEER_ANGLE_CMD"]);
+                }
+            } else if frame.id() == self.dbc.gas_command().id {
+                if let Ok(map) = decode(self.dbc.gas_command(), frame) {
+                    gas = Some(map["ACCEL_CMD"]);
+                }
+            } else if frame.id() == self.dbc.brake_command().id {
+                if let Ok(map) = decode(self.dbc.brake_command(), frame) {
+                    brake = Some(map["BRAKE_CMD"]);
+                }
+            }
+        }
+        if gas.is_some() || brake.is_some() {
+            out.accel = Accel::from_mps2(gas.unwrap_or(0.0) + brake.unwrap_or(0.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn control(accel: f64, steer_deg: f64) -> CarControl {
+        CarControl {
+            accel: Accel::from_mps2(accel),
+            steer: Angle::from_degrees(steer_deg),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut enc = CommandEncoder::new();
+        let frames = enc.encode(&control(1.5, -0.2)).unwrap();
+        assert_eq!(frames.len(), 3);
+        let decoded = enc.decode_actuators(&frames, CarControl::default());
+        assert!((decoded.accel.mps2() - 1.5).abs() < 0.002);
+        assert!((decoded.steer.degrees() + 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn braking_goes_on_the_brake_message() {
+        let mut enc = CommandEncoder::new();
+        let frames = enc.encode(&control(-3.0, 0.0)).unwrap();
+        let brake_frame = frames
+            .iter()
+            .find(|f| f.id() == enc.dbc().brake_command().id)
+            .unwrap();
+        let map = decode(enc.dbc().brake_command(), brake_frame).unwrap();
+        assert!((map["BRAKE_CMD"] + 3.0).abs() < 0.002);
+        let gas_frame = frames
+            .iter()
+            .find(|f| f.id() == enc.dbc().gas_command().id)
+            .unwrap();
+        assert_eq!(decode(enc.dbc().gas_command(), gas_frame).unwrap()["ACCEL_CMD"], 0.0);
+    }
+
+    #[test]
+    fn corrupted_frame_is_dropped_and_base_held() {
+        let mut enc = CommandEncoder::new();
+        let mut frames = enc.encode(&control(2.0, 0.3)).unwrap();
+        // Corrupt the steering frame without fixing the checksum.
+        frames[0].data_mut()[0] ^= 0xFF;
+        let base = control(0.5, 0.1);
+        let decoded = enc.decode_actuators(&frames, base);
+        assert!((decoded.steer.degrees() - 0.1).abs() < 1e-9, "held last valid steer");
+        assert!((decoded.accel.mps2() - 2.0).abs() < 0.002, "gas still applied");
+    }
+
+    #[test]
+    fn empty_batch_returns_base() {
+        let enc = CommandEncoder::new();
+        let base = control(-1.0, 0.05);
+        assert_eq!(enc.decode_actuators(&[], base), base);
+    }
+}

@@ -1,0 +1,145 @@
+//! A scalar Kalman filter.
+//!
+//! Used twice in this reproduction, mirroring the paper: the ADAS smooths its
+//! speed estimate with it, and the attack engine uses the same filter (Eq. 3)
+//! to predict the ego speed one step ahead when choosing strategic values.
+
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional Kalman filter over a random-walk-with-drift state.
+///
+/// # Examples
+///
+/// ```
+/// use openadas::Kalman1D;
+///
+/// let mut kf = Kalman1D::new(26.8, 1.0, 0.01, 0.05);
+/// // Predict constant speed, then fuse a noisy measurement.
+/// kf.predict(0.0);
+/// kf.update(26.9);
+/// assert!((kf.estimate() - 26.85).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Kalman1D {
+    x: f64,
+    p: f64,
+    q: f64,
+    r: f64,
+    last_gain: f64,
+}
+
+impl Kalman1D {
+    /// Creates a filter with initial state `x0`, initial variance `p0`,
+    /// process noise `q` and measurement noise `r` (both variances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`, `r` or `p0` are not positive.
+    pub fn new(x0: f64, p0: f64, q: f64, r: f64) -> Self {
+        assert!(p0 > 0.0 && q > 0.0 && r > 0.0, "variances must be positive");
+        Self {
+            x: x0,
+            p: p0,
+            q,
+            r,
+            last_gain: 0.0,
+        }
+    }
+
+    /// Current state estimate.
+    pub fn estimate(&self) -> f64 {
+        self.x
+    }
+
+    /// Current estimate variance.
+    pub fn variance(&self) -> f64 {
+        self.p
+    }
+
+    /// The Kalman gain used by the most recent [`Self::update`] — the
+    /// `K_t` of the paper's Eq. 3.
+    pub fn last_gain(&self) -> f64 {
+        self.last_gain
+    }
+
+    /// Time-update: shifts the state by a known control increment `du`
+    /// (e.g. `accel * dt`) and inflates the variance.
+    pub fn predict(&mut self, du: f64) {
+        self.x += du;
+        self.p += self.q;
+    }
+
+    /// Measurement-update: fuses measurement `z`, returning the new
+    /// estimate. Implements `x <- x + K (z - x)`.
+    pub fn update(&mut self, z: f64) -> f64 {
+        let k = self.p / (self.p + self.r);
+        self.last_gain = k;
+        self.x += k * (z - self.x);
+        self.p *= 1.0 - k;
+        self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_constant_signal() {
+        let mut kf = Kalman1D::new(0.0, 10.0, 1e-4, 0.25);
+        for _ in 0..200 {
+            kf.predict(0.0);
+            kf.update(5.0);
+        }
+        assert!((kf.estimate() - 5.0).abs() < 0.01);
+        assert!(kf.variance() < 0.05);
+    }
+
+    #[test]
+    fn tracks_a_ramp_with_known_control() {
+        let mut kf = Kalman1D::new(0.0, 1.0, 1e-3, 0.1);
+        let mut truth = 0.0;
+        for _ in 0..500 {
+            truth += 0.02; // 2 m/s^2 * 10 ms
+            kf.predict(0.02);
+            kf.update(truth + 0.01); // small bias in measurement
+        }
+        assert!((kf.estimate() - truth).abs() < 0.05);
+    }
+
+    #[test]
+    fn gain_shrinks_as_confidence_grows() {
+        let mut kf = Kalman1D::new(0.0, 10.0, 1e-6, 1.0);
+        kf.predict(0.0);
+        kf.update(1.0);
+        let early_gain = kf.last_gain();
+        for _ in 0..100 {
+            kf.predict(0.0);
+            kf.update(1.0);
+        }
+        assert!(kf.last_gain() < early_gain);
+        assert!(kf.last_gain() > 0.0);
+    }
+
+    #[test]
+    fn noisy_measurements_are_smoothed() {
+        // Deterministic "noise": alternate +-0.5 around 10.
+        let mut kf = Kalman1D::new(10.0, 0.5, 1e-4, 0.5);
+        let mut worst: f64 = 0.0;
+        for i in 0..400 {
+            kf.predict(0.0);
+            let z = 10.0 + if i % 2 == 0 { 0.5 } else { -0.5 };
+            kf.update(z);
+            if i > 50 {
+                worst = worst.max((kf.estimate() - 10.0).abs());
+            }
+        }
+        assert!(worst < 0.1, "filter output varies far less than input");
+    }
+
+    #[test]
+    #[should_panic(expected = "variances must be positive")]
+    fn rejects_non_positive_variance() {
+        let _ = Kalman1D::new(0.0, 0.0, 0.01, 0.1);
+    }
+}

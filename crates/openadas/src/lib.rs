@@ -1,0 +1,50 @@
+//! An OpenPilot-style Advanced Driver Assistance System.
+//!
+//! Implements the functional specification the paper attacks (§II-A):
+//! Automated Lane Centering (ALC) and Adaptive Cruise Control (ACC) built
+//! from Cereal-style sensor messages, with the ISO-22179-inspired safety
+//! principles OpenPilot documents:
+//!
+//! * longitudinal commands clamped to `[-3.5, +2.0] m/s²` (software limits
+//!   `[-4.0, +2.4]`, see [`SafetyLimits`]),
+//! * steering limited so the car cannot deviate from its path faster than a
+//!   driver can react,
+//! * a *steer saturated* alert when the lateral controller wants more
+//!   steering than the limit allows,
+//! * a Forward Collision Warning tied to the brake output exceeding the
+//!   safety threshold — which, as the paper observes, never fires during the
+//!   attacks because the corrupted brake command is kept inside the envelope,
+//! * a Panda-style CAN safety model ([`PandaSafety`]) that can gate outgoing
+//!   actuator frames.
+//!
+//! The top-level [`Adas`] consumes one [`SensorFrame`]-shaped set of
+//! messages per 10 ms tick and emits a [`msgbus::schema::CarControl`] plus
+//! the corresponding CAN frames.
+
+#![warn(missing_docs)]
+
+mod acc;
+mod adas;
+mod aeb;
+mod alc;
+mod alerts;
+mod controls;
+mod kalman;
+mod panda;
+mod perception;
+mod radar;
+mod safety;
+mod state;
+
+pub use acc::{AccController, AccOutput};
+pub use aeb::{Aeb, AebConfig, AebState};
+pub use adas::{Adas, AdasOutput};
+pub use alc::{AlcController, AlcOutput};
+pub use alerts::AlertManager;
+pub use controls::CommandEncoder;
+pub use kalman::Kalman1D;
+pub use panda::{PandaSafety, PandaVerdict};
+pub use perception::{LaneEstimate, LaneProcessor};
+pub use radar::{LeadEstimate, LeadTracker};
+pub use safety::SafetyLimits;
+pub use state::CarStateEstimator;

@@ -1,0 +1,107 @@
+//! Property-based tests on the ADAS controllers' envelopes and stability.
+
+use msgbus::schema::CarState;
+use openadas::{AccController, AlcController, Kalman1D, LaneEstimate, LeadEstimate, SafetyLimits};
+use proptest::prelude::*;
+use units::{Accel, Distance, Speed};
+
+proptest! {
+    /// The ACC command never leaves the strict envelope for any state.
+    #[test]
+    fn acc_respects_the_envelope(
+        v in 0.0..45.0f64,
+        cruise in 5.0..40.0f64,
+        lead in proptest::option::of((1.0..200.0f64, 0.0..40.0f64)),
+    ) {
+        let acc = AccController::new();
+        let car = CarState {
+            v_ego: Speed::from_mps(v),
+            v_cruise: Speed::from_mps(cruise),
+            cruise_enabled: true,
+            ..CarState::default()
+        };
+        let lead_est = lead.map(|(d, vl)| LeadEstimate {
+            d_rel: Distance::meters(d),
+            v_lead: Speed::from_mps(vl),
+            a_lead: Accel::ZERO,
+        });
+        let out = acc.control(&car, lead_est.as_ref());
+        prop_assert!(out.command.mps2() <= 2.0 + 1e-12);
+        prop_assert!(out.command.mps2() >= -3.5 - 1e-12);
+        prop_assert!(out.command.mps2().is_finite());
+        // The raw demand is finite too (used by FCW-style checks).
+        prop_assert!(out.desired.mps2().is_finite());
+    }
+
+    /// The ALC command is always inside the software clamp and finite.
+    #[test]
+    fn alc_respects_the_clamp(
+        offset in -8.0..8.0f64,
+        rate in -5.0..5.0f64,
+        curvature in -0.01..0.01f64,
+    ) {
+        let alc = AlcController::new();
+        let lane = LaneEstimate {
+            offset: Distance::meters(offset),
+            offset_rate: Speed::from_mps(rate),
+            curvature,
+            left_line: Distance::meters(1.85 - offset),
+            right_line: Distance::meters(1.85 + offset),
+        };
+        let out = alc.control(&lane);
+        prop_assert!(out.command.degrees().abs() <= 0.5 + 1e-12);
+        prop_assert!(out.command.degrees().is_finite());
+        // Saturation flag is consistent with the desire exceeding the limit.
+        prop_assert_eq!(out.saturated, out.desired.abs() > alc.saturation_limit);
+    }
+
+    /// ACC steers toward its fixed point: from any speed below cruise with a
+    /// clear road, iterating controller+integrator converges near cruise.
+    #[test]
+    fn acc_converges_to_cruise(v0 in 1.0..35.0f64, cruise in 10.0..35.0f64) {
+        let acc = AccController::new();
+        let mut v = v0;
+        for _ in 0..20_000 {
+            let car = CarState {
+                v_ego: Speed::from_mps(v),
+                v_cruise: Speed::from_mps(cruise),
+                cruise_enabled: true,
+                ..CarState::default()
+            };
+            let a = acc.control(&car, None).command.mps2();
+            v = (v + a * 0.01).max(0.0);
+        }
+        prop_assert!((v - cruise).abs() < 0.3, "v={v} cruise={cruise}");
+    }
+
+    /// Kalman filter estimates stay bounded by the measurement range.
+    #[test]
+    fn kalman_stays_in_measurement_hull(
+        x0 in -50.0..50.0f64,
+        zs in proptest::collection::vec(-30.0..30.0f64, 1..300),
+    ) {
+        let mut kf = Kalman1D::new(x0, 1.0, 0.01, 0.1);
+        for z in &zs {
+            kf.predict(0.0);
+            kf.update(*z);
+        }
+        let lo = zs.iter().cloned().fold(f64::INFINITY, f64::min).min(x0);
+        let hi = zs.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(x0);
+        prop_assert!(kf.estimate() >= lo - 1e-9 && kf.estimate() <= hi + 1e-9);
+        prop_assert!(kf.variance() > 0.0);
+    }
+
+    /// Both safety envelopes clamp into themselves (idempotent) and strict
+    /// is a subset of software.
+    #[test]
+    fn envelope_clamps_are_idempotent(a in -20.0..20.0f64) {
+        for limits in [SafetyLimits::software(), SafetyLimits::strict()] {
+            let once = limits.clamp_accel(Accel::from_mps2(a));
+            let twice = limits.clamp_accel(once);
+            prop_assert_eq!(once, twice);
+            prop_assert!(limits.accel_ok(once));
+        }
+        let strict = SafetyLimits::strict().clamp_accel(Accel::from_mps2(a));
+        prop_assert!(SafetyLimits::software().accel_ok(strict), "strict ⊆ software");
+    }
+}

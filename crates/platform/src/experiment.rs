@@ -1,0 +1,267 @@
+//! The experiment campaigns of §IV: scenario × initial-gap × repetition
+//! matrices for each attack type and strategy, run in parallel.
+
+use attack_core::{AttackConfig, AttackType, StrategyKind, ValueMode};
+use driver_model::DriverConfig;
+use driving_sim::Scenario;
+use serde::{Deserialize, Serialize};
+
+use crate::{Harness, HarnessConfig, HazardParams, SimResult};
+
+/// A full campaign: every attack type over the whole scenario matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// The scheduling strategy.
+    pub strategy: StrategyKind,
+    /// The value-corruption mode.
+    pub value_mode: ValueMode,
+    /// Repetitions per (scenario, gap) cell. The paper uses 20
+    /// (→ 60 sims per attack type per scenario behaviour, 1,440 total).
+    pub reps: u32,
+    /// Extra parameter draws per repetition (the paper runs Random-ST+DUR
+    /// ten times as often, 14,400 sims, "to maximize coverage").
+    pub draws: u32,
+    /// The simulated driver.
+    pub driver: DriverConfig,
+    /// Whether Panda firmware checks are enforced.
+    pub panda_enabled: bool,
+    /// Base seed; all run seeds derive deterministically from it.
+    pub base_seed: u64,
+}
+
+impl CampaignConfig {
+    /// The paper's configuration for a given strategy (Table III): strategic
+    /// values for Context-Aware, fixed for the baselines; 10× draws for
+    /// Random-ST+DUR.
+    pub fn paper(strategy: StrategyKind) -> Self {
+        Self {
+            strategy,
+            value_mode: AttackConfig::canonical_value_mode(strategy),
+            reps: 20,
+            draws: if strategy == StrategyKind::RandomStDur {
+                10
+            } else {
+                1
+            },
+            driver: DriverConfig::alert(),
+            panda_enabled: false,
+            base_seed: 0x5AFE,
+        }
+    }
+
+    /// A reduced-size variant for tests and smoke runs.
+    pub fn smoke(strategy: StrategyKind, reps: u32) -> Self {
+        Self {
+            reps,
+            draws: 1,
+            ..Self::paper(strategy)
+        }
+    }
+}
+
+/// Deterministic seed mixing (splitmix64) so campaigns are reproducible and
+/// paired campaigns (alert vs. inattentive driver) share world seeds.
+pub fn mix_seed(base: u64, parts: &[u64]) -> u64 {
+    let mut x = base;
+    for &p in parts {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(p);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x = z ^ (z >> 31);
+    }
+    x
+}
+
+/// One unit of work in a campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// The attack to run (None = attack-free baseline).
+    pub attack: Option<AttackConfig>,
+    /// Scenario.
+    pub scenario: Scenario,
+    /// World/sensor seed.
+    pub seed: u64,
+    /// Driver.
+    pub driver: DriverConfig,
+    /// Panda enforcement.
+    pub panda_enabled: bool,
+    /// §V defenses observing the run.
+    pub defenses_enabled: bool,
+}
+
+impl RunSpec {
+    /// Executes the run.
+    pub fn run(&self) -> SimResult {
+        Harness::new(HarnessConfig {
+            scenario: self.scenario,
+            seed: self.seed,
+            attack: self.attack,
+            driver: self.driver,
+            panda_enabled: self.panda_enabled,
+            defenses_enabled: self.defenses_enabled,
+            hazard_params: HazardParams::default(),
+        })
+        .run()
+    }
+}
+
+/// Expands a campaign into its work list for one attack type.
+pub fn plan_attack_campaign(cfg: &CampaignConfig, attack_type: AttackType) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for (si, scenario) in Scenario::matrix().into_iter().enumerate() {
+        for rep in 0..cfg.reps {
+            for draw in 0..cfg.draws {
+                let seed = mix_seed(
+                    cfg.base_seed,
+                    &[si as u64, rep as u64, draw as u64, attack_kind_id(attack_type)],
+                );
+                specs.push(RunSpec {
+                    attack: Some(AttackConfig {
+                        attack_type,
+                        strategy: cfg.strategy,
+                        value_mode: cfg.value_mode,
+                        seed,
+                        ..AttackConfig::default()
+                    }),
+                    scenario,
+                    seed,
+                    driver: cfg.driver,
+                    panda_enabled: cfg.panda_enabled,
+                    defenses_enabled: false,
+                });
+            }
+        }
+    }
+    specs
+}
+
+/// Expands the attack-free baseline campaign (the paper's "No Attacks" row).
+pub fn plan_no_attack_campaign(reps: u32, base_seed: u64, driver: DriverConfig) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for (si, scenario) in Scenario::matrix().into_iter().enumerate() {
+        for rep in 0..reps {
+            specs.push(RunSpec {
+                attack: None,
+                scenario,
+                seed: mix_seed(base_seed, &[si as u64, rep as u64, 999]),
+                driver,
+                panda_enabled: false,
+                defenses_enabled: false,
+            });
+        }
+    }
+    specs
+}
+
+fn attack_kind_id(t: AttackType) -> u64 {
+    AttackType::ALL.iter().position(|&x| x == t).unwrap_or(0) as u64
+}
+
+/// Runs a work list in parallel across all cores, preserving order.
+pub fn run_parallel(specs: &[RunSpec]) -> Vec<SimResult> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(specs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<SimResult>>> =
+        specs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                *results[i].lock().expect("no poisoning") = Some(specs[i].run());
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("no poisoning").expect("all ran"))
+        .collect()
+}
+
+/// Runs one attack type across the campaign and returns the results.
+pub fn run_attack_campaign(cfg: &CampaignConfig, attack_type: AttackType) -> Vec<SimResult> {
+    run_parallel(&plan_attack_campaign(cfg, attack_type))
+}
+
+/// Runs all six attack types and returns the concatenated results
+/// (the paper's 1,440-run — or 14,400-run — strategy campaigns).
+pub fn run_full_campaign(cfg: &CampaignConfig) -> Vec<SimResult> {
+    let specs: Vec<RunSpec> = AttackType::ALL
+        .into_iter()
+        .flat_map(|t| plan_attack_campaign(cfg, t))
+        .collect();
+    run_parallel(&specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_campaign_sizes_match() {
+        let cfg = CampaignConfig::paper(StrategyKind::ContextAware);
+        // 12 scenario cells x 20 reps = 240 per attack type; 1,440 total.
+        assert_eq!(plan_attack_campaign(&cfg, AttackType::Acceleration).len(), 240);
+        let total: usize = AttackType::ALL
+            .iter()
+            .map(|&t| plan_attack_campaign(&cfg, t).len())
+            .sum();
+        assert_eq!(total, 1_440);
+        // Random-ST+DUR runs 10x as many.
+        let cfg = CampaignConfig::paper(StrategyKind::RandomStDur);
+        let total: usize = AttackType::ALL
+            .iter()
+            .map(|&t| plan_attack_campaign(&cfg, t).len())
+            .sum();
+        assert_eq!(total, 14_400);
+    }
+
+    #[test]
+    fn seeds_are_unique_within_a_campaign() {
+        let cfg = CampaignConfig::paper(StrategyKind::ContextAware);
+        let mut seeds: Vec<u64> = AttackType::ALL
+            .iter()
+            .flat_map(|&t| plan_attack_campaign(&cfg, t))
+            .map(|s| s.seed)
+            .collect();
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), n, "no seed collisions");
+    }
+
+    #[test]
+    fn mix_seed_is_deterministic_and_sensitive() {
+        assert_eq!(mix_seed(1, &[2, 3]), mix_seed(1, &[2, 3]));
+        assert_ne!(mix_seed(1, &[2, 3]), mix_seed(1, &[3, 2]));
+        assert_ne!(mix_seed(1, &[2, 3]), mix_seed(2, &[2, 3]));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let cfg = CampaignConfig::smoke(StrategyKind::ContextAware, 1);
+        let specs: Vec<RunSpec> = plan_attack_campaign(&cfg, AttackType::SteeringRight)
+            .into_iter()
+            .take(4)
+            .collect();
+        let parallel = run_parallel(&specs);
+        let serial: Vec<SimResult> = specs.iter().map(RunSpec::run).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn no_attack_plan_has_no_attacks() {
+        let specs = plan_no_attack_campaign(2, 7, DriverConfig::alert());
+        assert_eq!(specs.len(), 24);
+        assert!(specs.iter().all(|s| s.attack.is_none()));
+    }
+}

@@ -1,0 +1,501 @@
+//! One lock-step simulation run: ADAS + simulator + driver + attack engine.
+//!
+//! The data flow per 10 ms tick mirrors the paper's Fig. 5:
+//!
+//! ```text
+//! sensors ──publish──▶ msgbus ──▶ ADAS ──CAN frames──▶ [attack engine MITM]
+//!                        ▲                                    │
+//!                        └── attacker eavesdrops        [Panda checks]
+//!                                                             ▼
+//! hazard detector ◀── world.step(cmd) ◀── driver override? ◀── actuators
+//! ```
+
+use attack_core::{AttackConfig, AttackEngine};
+use defense::{ContextMonitor, ContextObservation, ControlInvariantDetector};
+use driver_model::{Driver, DriverConfig, Observation};
+use driving_sim::{ActuatorCommand, Scenario, SensorSuite, World};
+use msgbus::schema::CarControl;
+use msgbus::Bus;
+use openadas::{Adas, CommandEncoder, PandaSafety};
+use serde::{Deserialize, Serialize};
+use units::{Seconds, Tick};
+
+use crate::{AccidentKind, HazardDetector, HazardKind, HazardParams};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// The driving scenario.
+    pub scenario: Scenario,
+    /// Seed for sensor noise and the attack's random draws.
+    pub seed: u64,
+    /// The attack to mount, if any.
+    pub attack: Option<AttackConfig>,
+    /// The simulated driver.
+    pub driver: DriverConfig,
+    /// Whether Panda-style firmware checks gate the actuator frames. The
+    /// paper's CARLA setup leaves them disabled.
+    pub panda_enabled: bool,
+    /// Whether the §V defenses (control-invariant detector + context-aware
+    /// command monitor) observe the run. Detection is recorded but — like
+    /// the paper's study — not acted upon; the `defense` bench evaluates
+    /// whether the detections arrive in time.
+    pub defenses_enabled: bool,
+    /// Hazard detection thresholds.
+    pub hazard_params: HazardParams,
+}
+
+impl HarnessConfig {
+    /// An attack-free run with an alert driver.
+    pub fn no_attack(scenario: Scenario, seed: u64) -> Self {
+        Self {
+            scenario,
+            seed,
+            attack: None,
+            driver: DriverConfig::alert(),
+            panda_enabled: false,
+            defenses_enabled: false,
+            hazard_params: HazardParams::default(),
+        }
+    }
+
+    /// An attacked run with an alert driver.
+    pub fn with_attack(scenario: Scenario, seed: u64, attack: AttackConfig) -> Self {
+        Self {
+            attack: Some(attack),
+            ..Self::no_attack(scenario, seed)
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Seed of the run.
+    pub seed: u64,
+    /// First hazard (time and kind), if any.
+    pub first_hazard: Option<(Seconds, HazardKind)>,
+    /// All hazard kinds that occurred.
+    pub hazard_kinds: Vec<HazardKind>,
+    /// The accident, if one occurred.
+    pub accident: Option<(Seconds, AccidentKind)>,
+    /// ADAS alert events raised during the run.
+    pub alert_events: u64,
+    /// Forward-collision-warning events (Observation 2 expects zero).
+    pub fcw_events: u64,
+    /// Lane-invasion events.
+    pub lane_invasions: u64,
+    /// Simulated duration.
+    pub duration: Seconds,
+    /// When the attack first injected (`t_a`), if it did.
+    pub attack_activated: Option<Seconds>,
+    /// Time-to-hazard: first hazard − activation.
+    pub tth: Option<Seconds>,
+    /// When the driver noticed an anomaly/alert (`t_d`).
+    pub driver_noticed: Option<Seconds>,
+    /// When the driver took over (`t_ex`).
+    pub driver_engaged: Option<Seconds>,
+    /// CAN frames rewritten by the attack.
+    pub frames_rewritten: u64,
+    /// Frames blocked by Panda checks (when enabled).
+    pub panda_blocked: u64,
+    /// When the control-invariant detector alarmed (defenses enabled only).
+    pub invariant_detected: Option<Seconds>,
+    /// When the context-aware command monitor alarmed (defenses enabled
+    /// only).
+    pub monitor_detected: Option<Seconds>,
+}
+
+impl SimResult {
+    /// Whether any hazard occurred.
+    pub fn hazardous(&self) -> bool {
+        self.first_hazard.is_some()
+    }
+
+    /// Whether any ADAS alert was raised.
+    pub fn alerted(&self) -> bool {
+        self.alert_events > 0
+    }
+
+    /// The paper's "Hazards & no Alerts" criterion.
+    pub fn hazard_without_alert(&self) -> bool {
+        self.hazardous() && !self.alerted()
+    }
+
+    /// Whether a specific hazard kind occurred.
+    pub fn has_hazard(&self, kind: HazardKind) -> bool {
+        self.hazard_kinds.contains(&kind)
+    }
+}
+
+/// A single assembled simulation.
+pub struct Harness {
+    config: HarnessConfig,
+    bus: Bus,
+    world: World,
+    sensors: SensorSuite,
+    adas: Adas,
+    attacker: Option<AttackEngine>,
+    driver: Driver,
+    panda: PandaSafety,
+    actuator_side: CommandEncoder,
+    hazards: HazardDetector,
+    invariant: Option<ControlInvariantDetector>,
+    monitor: Option<ContextMonitor>,
+    last_cmd: CarControl,
+    alert_events: u64,
+    ever_disengaged: bool,
+}
+
+impl Harness {
+    /// Wires up a run.
+    pub fn new(config: HarnessConfig) -> Self {
+        let bus = Bus::new();
+        let world = World::new(config.scenario, config.seed);
+        let sensors = SensorSuite::new(config.seed);
+        // The attacker must subscribe before the ADAS so it sees the same
+        // traffic from the start (subscription order does not matter for
+        // delivery, only for realism of the deployment story).
+        let attacker = config.attack.map(|mut a| {
+            a.seed = a.seed.wrapping_add(config.seed);
+            AttackEngine::new(&bus, a)
+        });
+        let adas = Adas::new(&bus, config.scenario.cruise_speed);
+        Self {
+            bus,
+            world,
+            sensors,
+            adas,
+            attacker,
+            driver: Driver::new(config.driver),
+            panda: PandaSafety::new(config.panda_enabled),
+            actuator_side: CommandEncoder::new(),
+            hazards: HazardDetector::new(config.hazard_params),
+            invariant: config
+                .defenses_enabled
+                .then(ControlInvariantDetector::default),
+            monitor: config.defenses_enabled.then(ContextMonitor::default),
+            last_cmd: CarControl::default(),
+            alert_events: 0,
+            ever_disengaged: false,
+            config,
+        }
+    }
+
+    /// The world (ground truth), for inspection.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The message bus (e.g. to attach extra eavesdroppers).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// The attack engine, if one is mounted.
+    pub fn attacker(&self) -> Option<&AttackEngine> {
+        self.attacker.as_ref()
+    }
+
+    /// Whether the run has completed its 5,000 ticks.
+    pub fn finished(&self) -> bool {
+        self.world.finished()
+    }
+
+    /// Advances one control cycle; returns the tick that was executed.
+    pub fn step(&mut self) -> Tick {
+        let tick = self.world.now();
+
+        // A collision ends the run physically: the world is frozen and the
+        // control stack no longer does anything meaningful, so only the
+        // clock advances (keeping run durations comparable).
+        if self.world.collision().is_some() {
+            self.world.step(ActuatorCommand::default());
+            return tick;
+        }
+
+        // 1. Sensors sample ground truth and publish.
+        let frame = self.sensors.publish(&self.bus, tick, &self.world);
+
+        // 2. The attacker eavesdrops and matches contexts.
+        if let Some(att) = self.attacker.as_mut() {
+            att.observe(tick);
+        }
+
+        // 3. The ADAS runs its control cycle and emits actuator frames.
+        let out = self.adas.step(tick);
+        self.alert_events += out.new_alerts.len() as u64;
+
+        // 4. Man-in-the-middle: the attack rewrites frames in flight.
+        let mut frames = out.frames;
+        if let Some(att) = self.attacker.as_mut() {
+            frames = att.process_frames(tick, frames);
+        }
+
+        // 5. Firmware safety checks (disabled in the paper's setup).
+        frames.retain(|f| self.panda.check(f).passed());
+
+        // 6. Actuator-side decode; invalid/missing frames hold last values.
+        let cmd = self.actuator_side.decode_actuators(&frames, self.last_cmd);
+        self.last_cmd = cmd;
+
+        // 6b. §V defenses observe the boundary: the invariant detector
+        // compares the *issued* command with the measured response; the
+        // context monitor judges the *executed* command in context.
+        if let Some(inv) = self.invariant.as_mut() {
+            inv.step(
+                tick,
+                out.control.accel,
+                out.control.steer,
+                frame.gps.speed,
+                frame.lane.lateral_offset().raw(),
+            );
+        }
+        if let Some(mon) = self.monitor.as_mut() {
+            let half_width = self.world.ego().params().width / 2.0;
+            let v = frame.gps.speed;
+            let obs = ContextObservation {
+                v_ego: v,
+                hwt: frame.radar.lead.and_then(|l| {
+                    (v.mps() > 0.5).then(|| l.d_rel / v)
+                }),
+                rs: frame.radar.lead.map(|l| v - l.v_lead),
+                d_left: frame.lane.left_line - half_width,
+                d_right: frame.lane.right_line - half_width,
+            };
+            mon.check(tick, &obs, cmd.accel, cmd.steer);
+        }
+
+        // 7. The driver watches the executed behaviour and any alert.
+        let obs = Observation {
+            speed: self.world.ego().speed(),
+            v_cruise: self.config.scenario.cruise_speed,
+            accel_cmd: cmd.accel,
+            steer_cmd: cmd.steer,
+            adas_alert: !out.new_alerts.is_empty(),
+            lane_offset: self.world.ego().d(),
+            lead_gap: {
+                let gap = self.world.gap();
+                (gap.raw() > 0.0 && gap.raw() < 150.0).then_some(gap)
+            },
+        };
+        let driver_cmd = self.driver.step(tick, &obs);
+
+        let final_cmd = match driver_cmd {
+            Some(d) => {
+                if !self.ever_disengaged {
+                    // Driver takes over: ADAS disengages, attack halts.
+                    self.adas.disengage();
+                    if let Some(att) = self.attacker.as_mut() {
+                        att.halt(tick);
+                    }
+                    self.ever_disengaged = true;
+                }
+                ActuatorCommand {
+                    accel: d.accel,
+                    steer: d.steer,
+                }
+            }
+            None => ActuatorCommand {
+                accel: cmd.accel,
+                steer: cmd.steer,
+            },
+        };
+
+        // 8. Physics + hazard bookkeeping.
+        self.world.step(final_cmd);
+        self.hazards.step(&self.world);
+        tick
+    }
+
+    /// Runs to completion and returns the result.
+    pub fn run(mut self) -> SimResult {
+        while !self.finished() {
+            self.step();
+        }
+        self.result_so_far()
+    }
+
+    /// Snapshot of the result at the current point in the run.
+    pub fn result_so_far(&self) -> SimResult {
+        let first_hazard = self
+            .hazards
+            .first_any()
+            .map(|(t, k)| (t.time(), k));
+        let attack_activated = self
+            .attacker
+            .as_ref()
+            .and_then(|a| a.timeline().activated_at());
+        let tth = match (attack_activated, self.hazards.first_any()) {
+            (Some(_), Some((h, _))) => self
+                .attacker
+                .as_ref()
+                .and_then(|a| a.timeline().tth(h)),
+            _ => None,
+        };
+        SimResult {
+            seed: self.config.seed,
+            first_hazard,
+            hazard_kinds: self.hazards.kinds(),
+            accident: self.hazards.accident().map(|(t, k)| (t.time(), k)),
+            alert_events: self.alert_events,
+            fcw_events: self.adas.fcw_events(),
+            lane_invasions: self.world.lane_invasions(),
+            duration: self.world.now().time(),
+            attack_activated: attack_activated.map(Tick::time),
+            tth,
+            driver_noticed: self.driver.noticed_at().map(Tick::time),
+            driver_engaged: self.driver.engaged_at().map(Tick::time),
+            frames_rewritten: self
+                .attacker
+                .as_ref()
+                .map_or(0, AttackEngine::frames_rewritten),
+            panda_blocked: self.panda.blocked_count(),
+            invariant_detected: self
+                .invariant
+                .as_ref()
+                .and_then(|d| d.detected_at())
+                .map(Tick::time),
+            monitor_detected: self
+                .monitor
+                .as_ref()
+                .and_then(|m| m.detected_at())
+                .map(Tick::time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attack_core::{AttackType, StrategyKind, ValueMode};
+    use driving_sim::ScenarioId;
+    use units::Distance;
+
+    fn scenario(id: ScenarioId, gap: f64) -> Scenario {
+        Scenario::new(id, Distance::meters(gap))
+    }
+
+    #[test]
+    fn attack_free_run_is_hazard_free() {
+        let result = Harness::new(HarnessConfig::no_attack(scenario(ScenarioId::S1, 70.0), 3)).run();
+        assert!(!result.hazardous(), "got {:?}", result.first_hazard);
+        assert!(result.accident.is_none());
+        assert_eq!(result.fcw_events, 0);
+        assert!(result.driver_engaged.is_none(), "driver never takes over");
+        assert_eq!(result.duration, units::SIM_DURATION);
+    }
+
+    #[test]
+    fn context_aware_acceleration_attack_causes_forward_hazard() {
+        let attack = AttackConfig {
+            attack_type: AttackType::Acceleration,
+            strategy: StrategyKind::ContextAware,
+            value_mode: ValueMode::Strategic,
+            ..AttackConfig::default()
+        };
+        let result =
+            Harness::new(HarnessConfig::with_attack(scenario(ScenarioId::S1, 70.0), 5, attack))
+                .run();
+        assert!(result.attack_activated.is_some(), "context arises in S1");
+        assert!(result.has_hazard(HazardKind::H1), "got {:?}", result.hazard_kinds);
+        assert!(result.tth.is_some());
+        assert!(result.frames_rewritten > 0);
+    }
+
+    #[test]
+    fn strategic_attack_is_not_noticed_by_driver() {
+        let attack = AttackConfig {
+            attack_type: AttackType::Deceleration,
+            strategy: StrategyKind::ContextAware,
+            value_mode: ValueMode::Strategic,
+            ..AttackConfig::default()
+        };
+        let result =
+            Harness::new(HarnessConfig::with_attack(scenario(ScenarioId::S1, 70.0), 8, attack))
+                .run();
+        if result.attack_activated.is_some() {
+            assert!(
+                result.driver_engaged.is_none(),
+                "strategic values stay inside the driver's thresholds"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_deceleration_attack_is_noticed() {
+        let attack = AttackConfig {
+            attack_type: AttackType::Deceleration,
+            strategy: StrategyKind::ContextAware,
+            value_mode: ValueMode::Fixed,
+            ..AttackConfig::default()
+        };
+        let result =
+            Harness::new(HarnessConfig::with_attack(scenario(ScenarioId::S1, 70.0), 8, attack))
+                .run();
+        if let Some(t_a) = result.attack_activated {
+            let noticed = result.driver_noticed.expect("-4 m/s^2 is an anomaly");
+            assert!(noticed >= t_a);
+            let engaged = result.driver_engaged.expect("engages 2.5 s later");
+            assert!((engaged.secs() - noticed.secs() - 2.5).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn steering_right_attack_reaches_the_guardrail() {
+        let attack = AttackConfig {
+            attack_type: AttackType::SteeringRight,
+            strategy: StrategyKind::ContextAware,
+            value_mode: ValueMode::Fixed,
+            ..AttackConfig::default()
+        };
+        // Try a few seeds: the trigger needs the wander to reach the right
+        // edge, which is the common case but not guaranteed per-run.
+        let mut hazardous = 0;
+        for seed in 0..5 {
+            let result = Harness::new(HarnessConfig::with_attack(
+                scenario(ScenarioId::S2, 100.0),
+                seed,
+                attack,
+            ))
+            .run();
+            // A trigger late in the run may not have time to finish; count
+            // the ones that do (the campaign-level rate is ~99%).
+            if result.attack_activated.is_some() && result.hazardous() {
+                assert!(result.has_hazard(HazardKind::H3), "{:?}", result.hazard_kinds);
+                hazardous += 1;
+            }
+        }
+        assert!(hazardous > 0, "right-edge attacks cause H3 in some of 5 runs");
+    }
+
+    #[test]
+    fn panda_blocks_fixed_attack_values() {
+        let attack = AttackConfig {
+            attack_type: AttackType::Acceleration,
+            strategy: StrategyKind::ContextAware,
+            value_mode: ValueMode::Fixed,
+            ..AttackConfig::default()
+        };
+        let mut cfg = HarnessConfig::with_attack(scenario(ScenarioId::S1, 70.0), 5, attack);
+        cfg.panda_enabled = true;
+        let result = Harness::new(cfg).run();
+        if result.attack_activated.is_some() {
+            assert!(result.panda_blocked > 0, "2.4 m/s^2 exceeds the firmware limit");
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_results() {
+        let attack = AttackConfig {
+            attack_type: AttackType::AccelerationSteering,
+            strategy: StrategyKind::RandomSt,
+            value_mode: ValueMode::Fixed,
+            ..AttackConfig::default()
+        };
+        let cfg = HarnessConfig::with_attack(scenario(ScenarioId::S3, 50.0), 99, attack);
+        let a = Harness::new(cfg).run();
+        let b = Harness::new(cfg).run();
+        assert_eq!(a, b);
+    }
+}

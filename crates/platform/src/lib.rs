@@ -1,0 +1,39 @@
+//! The simulation platform of the paper's Fig. 5: OpenPilot-style ADAS +
+//! CARLA-substitute simulator + driver reaction simulator + attack engine,
+//! wired together in lock-step, plus the experiment campaigns that
+//! regenerate every table and figure of the evaluation.
+//!
+//! * [`Harness`] — one simulation run (5,000 × 10 ms ticks).
+//! * [`HazardDetector`] — the hazards H1–H3 and accidents A1/A3 of §III-A.
+//! * [`SimResult`] / [`metrics`] — per-run outcomes and aggregation.
+//! * [`experiment`] — the 1,440/14,400-run campaigns (Tables IV and V).
+//! * [`tables`]/[`figures`] — formatting that matches the paper's rows.
+//!
+//! # Examples
+//!
+//! ```
+//! use platform::{Harness, HarnessConfig};
+//! use driving_sim::{Scenario, ScenarioId};
+//! use units::Distance;
+//!
+//! // One attack-free run (shortened to 200 ticks for the doctest).
+//! let scenario = Scenario::new(ScenarioId::S2, Distance::meters(70.0));
+//! let mut harness = Harness::new(HarnessConfig::no_attack(scenario, 1));
+//! for _ in 0..200 {
+//!     harness.step();
+//! }
+//! assert!(harness.result_so_far().first_hazard.is_none());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figures;
+mod harness;
+mod hazard;
+pub mod metrics;
+pub mod report;
+pub mod tables;
+
+pub use harness::{Harness, HarnessConfig, SimResult};
+pub use hazard::{AccidentKind, HazardDetector, HazardKind, HazardParams};
