@@ -10,7 +10,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use driving_sim::{ActuatorCommand, Scenario, ScenarioId, SensorSuite, World};
 use msgbus::schema::GpsLocation;
 use msgbus::{Bus, Payload, Topic};
-use platform::{Harness, HarnessConfig};
+use platform::{Harness, HarnessConfig, TraceConfig};
 use units::{Distance, Seconds, Speed, Tick};
 
 fn bench_world_step(c: &mut Criterion) {
@@ -119,6 +119,23 @@ fn bench_harness_tick(c: &mut Criterion) {
             3,
             AttackConfig::default(),
         ));
+        b.iter(|| {
+            black_box(harness.step());
+        });
+    });
+
+    // Same tick with the flight recorder attached: the acceptance bar is
+    // that the *disabled* path above pays <2% for the instrumentation, and
+    // this shows what enabling it costs.
+    c.bench_function("harness_full_tick_traced", |b| {
+        let mut harness = Harness::new(
+            HarnessConfig::with_attack(
+                Scenario::new(ScenarioId::S2, Distance::meters(200.0)),
+                3,
+                AttackConfig::default(),
+            )
+            .traced(TraceConfig::enabled(256)),
+        );
         b.iter(|| {
             black_box(harness.step());
         });

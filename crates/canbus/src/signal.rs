@@ -179,7 +179,7 @@ fn get_bit_le(data: &[u8; 8], pos: u16) -> u8 {
 /// Advances a Motorola bit cursor: down within a byte, then to the MSB of the
 /// following byte.
 fn next_be(pos: u16) -> u16 {
-    if pos % 8 == 0 {
+    if pos.is_multiple_of(8) {
         pos + 15
     } else {
         pos - 1

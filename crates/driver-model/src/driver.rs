@@ -233,7 +233,7 @@ impl Driver {
                     let v = obs.speed.mps();
                     let gap_safe = obs
                         .lead_gap
-                        .map_or(true, |g| g.raw() >= 1.5 * v.max(5.0));
+                        .is_none_or(|g| g.raw() >= 1.5 * v.max(5.0));
                     if gap_safe && v <= obs.v_cruise.mps() * 0.9 {
                         self.released = true;
                         self.manual_drive(obs)

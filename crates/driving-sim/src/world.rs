@@ -60,7 +60,7 @@ impl World {
             // correlation time.
             disturbance: OrnsteinUhlenbeck::new(0.33, 0.38, DT.secs()),
             neighbors: NeighborTraffic::standard(seed),
-            rng: StdRng::seed_from_u64(seed ^ 0xD15_7u64),
+            rng: StdRng::seed_from_u64(seed ^ 0xD157u64),
             seed,
         }
     }

@@ -30,6 +30,7 @@ struct BusInner {
     subs: Vec<SubEntry>,
     log: Option<MessageLog>,
     seq: u64,
+    published_by_topic: [u64; Topic::COUNT],
 }
 
 /// The message bus. Cloning is cheap and all clones address the same bus.
@@ -87,6 +88,7 @@ impl Bus {
             log.record(env.clone());
         }
         let topic = env.topic();
+        inner.published_by_topic[topic.index()] += 1;
         for sub in &inner.subs {
             if sub.topics.contains(&topic) {
                 let mut q = sub.queue.lock();
@@ -117,6 +119,16 @@ impl Bus {
     /// Number of messages published so far.
     pub fn published_count(&self) -> u64 {
         self.inner.lock().seq
+    }
+
+    /// Cumulative publish counts, indexed by [`Topic::index`].
+    ///
+    /// This is the bus-side envelope accounting the platform's flight
+    /// recorder snapshots every tick; it is maintained unconditionally
+    /// because the cost (one array increment per publish) is negligible
+    /// next to the fan-out clones.
+    pub fn published_by_topic(&self) -> [u64; Topic::COUNT] {
+        self.inner.lock().published_by_topic
     }
 
     /// Number of registered subscribers.
@@ -245,6 +257,18 @@ mod tests {
         bus.publish(Tick::ZERO, gps());
         assert_eq!(bus.published_count(), 1);
         assert_eq!(bus.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn per_topic_counters_track_each_stream() {
+        let bus = Bus::new();
+        bus.publish(Tick::ZERO, gps());
+        bus.publish(Tick::ZERO, gps());
+        bus.publish(Tick::new(1), Payload::CarState(CarState::default()));
+        let counts = bus.published_by_topic();
+        assert_eq!(counts[Topic::GpsLocationExternal.index()], 2);
+        assert_eq!(counts[Topic::CarState.index()], 1);
+        assert_eq!(counts.iter().sum::<u64>(), bus.published_count());
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub enum Topic {
 }
 
 impl Topic {
+    /// Number of defined topics (the length of [`Topic::ALL`]).
+    pub const COUNT: usize = 6;
+
     /// All defined topics.
     pub const ALL: [Topic; 6] = [
         Topic::GpsLocationExternal,
@@ -38,6 +41,26 @@ impl Topic {
         Topic::CarControl,
         Topic::ControlsState,
     ];
+
+    /// Dense index of the topic within [`Topic::ALL`], for per-topic
+    /// counter arrays.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert_eq!(msgbus::Topic::ALL[msgbus::Topic::RadarState.index()],
+    ///            msgbus::Topic::RadarState);
+    /// ```
+    pub const fn index(self) -> usize {
+        match self {
+            Topic::GpsLocationExternal => 0,
+            Topic::ModelV2 => 1,
+            Topic::RadarState => 2,
+            Topic::CarState => 3,
+            Topic::CarControl => 4,
+            Topic::ControlsState => 5,
+        }
+    }
 
     /// The Cereal-style service name of the topic.
     ///

@@ -6,6 +6,7 @@ use driver_model::DriverConfig;
 use driving_sim::Scenario;
 use serde::{Deserialize, Serialize};
 
+use crate::trace::{CampaignMetrics, TraceConfig, TraceRecorder};
 use crate::{Harness, HarnessConfig, HazardParams, SimResult};
 
 /// A full campaign: every attack type over the whole scenario matrix.
@@ -91,9 +92,9 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
-    /// Executes the run.
-    pub fn run(&self) -> SimResult {
-        Harness::new(HarnessConfig {
+    /// The harness configuration of the run, with the given trace setting.
+    pub fn harness_config(&self, trace: TraceConfig) -> HarnessConfig {
+        HarnessConfig {
             scenario: self.scenario,
             seed: self.seed,
             attack: self.attack,
@@ -101,8 +102,18 @@ impl RunSpec {
             panda_enabled: self.panda_enabled,
             defenses_enabled: self.defenses_enabled,
             hazard_params: HazardParams::default(),
-        })
-        .run()
+            trace,
+        }
+    }
+
+    /// Executes the run without tracing.
+    pub fn run(&self) -> SimResult {
+        Harness::new(self.harness_config(TraceConfig::disabled())).run()
+    }
+
+    /// Executes the run with a flight recorder attached.
+    pub fn run_traced(&self, trace: TraceConfig) -> (SimResult, Option<TraceRecorder>) {
+        Harness::new(self.harness_config(trace)).run_traced()
     }
 }
 
@@ -158,24 +169,31 @@ fn attack_kind_id(t: AttackType) -> u64 {
     AttackType::ALL.iter().position(|&x| x == t).unwrap_or(0) as u64
 }
 
-/// Runs a work list in parallel across all cores, preserving order.
-pub fn run_parallel(specs: &[RunSpec]) -> Vec<SimResult> {
+/// Maps `f` over `0..n` in parallel across all cores, preserving order.
+///
+/// This is the single work-stealing loop every campaign runner shares; the
+/// traced and untraced variants differ only in the closure they pass.
+pub fn run_parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
-        .min(specs.len().max(1));
+        .min(n.max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<SimResult>>> =
-        specs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<T>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
 
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
+                if i >= n {
                     break;
                 }
-                *results[i].lock().expect("no poisoning") = Some(specs[i].run());
+                *results[i].lock().expect("no poisoning") = Some(f(i));
             });
         }
     })
@@ -185,6 +203,33 @@ pub fn run_parallel(specs: &[RunSpec]) -> Vec<SimResult> {
         .into_iter()
         .map(|m| m.into_inner().expect("no poisoning").expect("all ran"))
         .collect()
+}
+
+/// Runs a work list in parallel across all cores, preserving order.
+pub fn run_parallel(specs: &[RunSpec]) -> Vec<SimResult> {
+    run_parallel_map(specs.len(), |i| specs[i].run())
+}
+
+/// Runs a work list in parallel with a flight recorder on every run,
+/// folding each run's metrics into one [`CampaignMetrics`] aggregate.
+///
+/// The per-run rings are dropped after aggregation (a campaign's worth of
+/// full traces would be gigabytes); pass a small `trace.capacity` since only
+/// the metrics survive.
+pub fn run_parallel_traced(
+    specs: &[RunSpec],
+    trace: TraceConfig,
+) -> (Vec<SimResult>, CampaignMetrics) {
+    let runs = run_parallel_map(specs.len(), |i| specs[i].run_traced(trace));
+    let mut campaign = CampaignMetrics::default();
+    let mut results = Vec::with_capacity(runs.len());
+    for (result, recorder) in runs {
+        if let Some(rec) = recorder {
+            campaign.absorb_run(rec.metrics(), &result);
+        }
+        results.push(result);
+    }
+    (results, campaign)
 }
 
 /// Runs one attack type across the campaign and returns the results.

@@ -31,7 +31,7 @@ pub fn fig7_trajectory(seed: u64, stride: u64) -> (Vec<TrajectorySample>, u64) {
     let mut samples = Vec::new();
     while !harness.finished() {
         let tick = harness.step();
-        if tick.index() % stride == 0 {
+        if tick.index().is_multiple_of(stride) {
             let world = harness.world();
             samples.push(TrajectorySample {
                 t: tick.time(),

@@ -12,14 +12,15 @@
 
 use attack_core::{AttackConfig, AttackEngine};
 use defense::{ContextMonitor, ContextObservation, ControlInvariantDetector};
-use driver_model::{Driver, DriverConfig, Observation};
+use driver_model::{Driver, DriverConfig, DriverPhase, Observation};
 use driving_sim::{ActuatorCommand, Scenario, SensorSuite, World};
 use msgbus::schema::CarControl;
 use msgbus::Bus;
-use openadas::{Adas, CommandEncoder, PandaSafety};
+use openadas::{Adas, AdasOutput, CommandEncoder, PandaSafety};
 use serde::{Deserialize, Serialize};
 use units::{Seconds, Tick};
 
+use crate::trace::{DriverPhaseCode, TickRecord, TraceConfig, TraceRecorder};
 use crate::{AccidentKind, HazardDetector, HazardKind, HazardParams};
 
 /// Configuration of one simulation run.
@@ -43,6 +44,9 @@ pub struct HarnessConfig {
     pub defenses_enabled: bool,
     /// Hazard detection thresholds.
     pub hazard_params: HazardParams,
+    /// Flight-recorder settings. Disabled by default; when disabled the
+    /// harness allocates no recorder and pays only one branch per tick.
+    pub trace: TraceConfig,
 }
 
 impl HarnessConfig {
@@ -56,6 +60,7 @@ impl HarnessConfig {
             panda_enabled: false,
             defenses_enabled: false,
             hazard_params: HazardParams::default(),
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -65,6 +70,11 @@ impl HarnessConfig {
             attack: Some(attack),
             ..Self::no_attack(scenario, seed)
         }
+    }
+
+    /// The same run with the flight recorder attached.
+    pub fn traced(self, trace: TraceConfig) -> Self {
+        Self { trace, ..self }
     }
 }
 
@@ -145,6 +155,7 @@ pub struct Harness {
     last_cmd: CarControl,
     alert_events: u64,
     ever_disengaged: bool,
+    recorder: Option<TraceRecorder>,
 }
 
 impl Harness {
@@ -178,6 +189,7 @@ impl Harness {
             last_cmd: CarControl::default(),
             alert_events: 0,
             ever_disengaged: false,
+            recorder: config.trace.enabled.then(|| TraceRecorder::new(config.trace)),
             config,
         }
     }
@@ -211,6 +223,7 @@ impl Harness {
         // clock advances (keeping run durations comparable).
         if self.world.collision().is_some() {
             self.world.step(ActuatorCommand::default());
+            self.capture_tick(tick, None, ActuatorCommand::default());
             return tick;
         }
 
@@ -223,11 +236,11 @@ impl Harness {
         }
 
         // 3. The ADAS runs its control cycle and emits actuator frames.
-        let out = self.adas.step(tick);
+        let mut out = self.adas.step(tick);
         self.alert_events += out.new_alerts.len() as u64;
 
         // 4. Man-in-the-middle: the attack rewrites frames in flight.
-        let mut frames = out.frames;
+        let mut frames = std::mem::take(&mut out.frames);
         if let Some(att) = self.attacker.as_mut() {
             frames = att.process_frames(tick, frames);
         }
@@ -305,7 +318,68 @@ impl Harness {
         // 8. Physics + hazard bookkeeping.
         self.world.step(final_cmd);
         self.hazards.step(&self.world);
+
+        // 9. Flight recorder: snapshot the executed cycle (no-op when off).
+        self.capture_tick(tick, Some(&out), final_cmd);
         tick
+    }
+
+    /// Snapshots the tick that just executed into the recorder, if one is
+    /// attached. `out` is `None` on post-collision frozen ticks.
+    fn capture_tick(&mut self, tick: Tick, out: Option<&AdasOutput>, applied: ActuatorCommand) {
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        let ego = self.world.ego();
+        let lead = self.world.lead();
+        let v = ego.speed().mps();
+        let raw_gap = self.world.gap().raw();
+        // Same visibility window the driver model uses: a lead further than
+        // 150 m (or behind) is "no lead".
+        let gap = if raw_gap > 0.0 && raw_gap < 150.0 {
+            raw_gap
+        } else {
+            f64::NAN
+        };
+        let hwt = if v > 0.5 { gap / v } else { f64::NAN };
+        rec.record(TickRecord {
+            tick: tick.index(),
+            ego_s: ego.s().raw(),
+            ego_d: ego.d().raw(),
+            ego_v: v,
+            ego_a: ego.accel().raw(),
+            ego_steer_deg: ego.steer().degrees(),
+            lead_s: lead.s().raw(),
+            lead_v: lead.speed().mps(),
+            gap,
+            hwt,
+            engaged: out.is_some_and(|o| o.engaged),
+            acc_desired: out.map_or(0.0, |o| o.acc.desired.raw()),
+            acc_cmd: out.map_or(0.0, |o| o.acc.command.raw()),
+            alc_desired_deg: out.map_or(0.0, |o| o.alc.desired.degrees()),
+            alc_cmd_deg: out.map_or(0.0, |o| o.alc.command.degrees()),
+            alc_saturated: out.is_some_and(|o| o.alc.saturated),
+            cmd_accel: self.last_cmd.accel.raw(),
+            cmd_steer_deg: self.last_cmd.steer.degrees(),
+            applied_accel: applied.accel.raw(),
+            applied_steer_deg: applied.steer.degrees(),
+            bus_published: self.bus.published_by_topic(),
+            attack_active: self.attacker.as_ref().is_some_and(AttackEngine::is_active),
+            frames_rewritten: self
+                .attacker
+                .as_ref()
+                .map_or(0, AttackEngine::frames_rewritten),
+            panda_blocked: self.panda.blocked_count(),
+            alert_events: self.alert_events,
+            driver_phase: match self.driver.phase() {
+                DriverPhase::Monitoring => DriverPhaseCode::Monitoring,
+                DriverPhase::Reacting { .. } => DriverPhaseCode::Reacting,
+                DriverPhase::Engaged { .. } => DriverPhaseCode::Engaged,
+            },
+            hazard_mask: self.hazards.mask(),
+            h3_streak: self.hazards.h3_streak(),
+            collided: self.world.collision().is_some(),
+        });
     }
 
     /// Runs to completion and returns the result.
@@ -314,6 +388,36 @@ impl Harness {
             self.step();
         }
         self.result_so_far()
+    }
+
+    /// Runs to completion and returns the result together with the flight
+    /// recorder (None when tracing was disabled).
+    pub fn run_traced(mut self) -> (SimResult, Option<TraceRecorder>) {
+        while !self.finished() {
+            self.step();
+        }
+        let result = self.result_so_far();
+        (result, self.recorder)
+    }
+
+    /// The flight recorder, if tracing is enabled.
+    pub fn recorder(&self) -> Option<&TraceRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Detaches the flight recorder, leaving the harness untraced.
+    pub fn take_recorder(&mut self) -> Option<TraceRecorder> {
+        self.recorder.take()
+    }
+
+    /// The newest `n` trace ticks as an aligned table, for diagnostics and
+    /// assertion messages. Explains itself when tracing is off.
+    pub fn trace_tail(&self, n: usize) -> String {
+        match self.recorder.as_ref() {
+            Some(rec) => rec.tail_table(n),
+            None => "(trace recorder disabled; enable HarnessConfig.trace to capture ticks)"
+                .to_string(),
+        }
     }
 
     /// Snapshot of the result at the current point in the run.

@@ -139,6 +139,21 @@ impl HazardDetector {
         self.accident
     }
 
+    /// Consecutive ticks the ego has spent beyond the lane edge so far —
+    /// the internal counter behind H3's sustained-excursion requirement,
+    /// exposed for the flight recorder.
+    pub fn h3_streak(&self) -> u32 {
+        self.h3_streak
+    }
+
+    /// A compact cumulative mask of the hazards seen so far (bit 0 = H1,
+    /// bit 1 = H2, bit 2 = H3), for per-tick trace records.
+    pub fn mask(&self) -> u8 {
+        u8::from(self.first_h1.is_some())
+            | u8::from(self.first_h2.is_some()) << 1
+            | u8::from(self.first_h3.is_some()) << 2
+    }
+
     /// All hazard kinds that occurred.
     pub fn kinds(&self) -> Vec<HazardKind> {
         [

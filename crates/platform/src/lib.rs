@@ -34,6 +34,39 @@ mod hazard;
 pub mod metrics;
 pub mod report;
 pub mod tables;
+pub mod trace;
 
 pub use harness::{Harness, HarnessConfig, SimResult};
 pub use hazard::{AccidentKind, HazardDetector, HazardKind, HazardParams};
+pub use trace::{TraceConfig, TraceRecorder};
+
+/// Asserts a condition, attaching the newest flight-recorder ticks of a
+/// [`Harness`] to the panic message so a failing integration test shows
+/// *what the simulation was doing* when the expectation broke.
+///
+/// ```should_panic
+/// use driving_sim::{Scenario, ScenarioId};
+/// use platform::{trace_assert, Harness, HarnessConfig, TraceConfig};
+/// use units::Distance;
+///
+/// let scenario = Scenario::new(ScenarioId::S2, Distance::meters(70.0));
+/// let cfg = HarnessConfig::no_attack(scenario, 1).traced(TraceConfig::enabled(64));
+/// let mut harness = Harness::new(cfg);
+/// harness.step();
+/// trace_assert!(harness, false, "always fails, printing the trace tail");
+/// ```
+#[macro_export]
+macro_rules! trace_assert {
+    ($harness:expr, $cond:expr $(,)?) => {
+        $crate::trace_assert!($harness, $cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($harness:expr, $cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            panic!(
+                "{}\nlast trace ticks:\n{}",
+                format!($($arg)+),
+                $harness.trace_tail(12)
+            );
+        }
+    };
+}

@@ -1,0 +1,151 @@
+//! The per-tick snapshot captured by the flight recorder.
+
+use msgbus::Topic;
+
+/// Coarse driver state, one byte per tick in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverPhaseCode {
+    /// Hands off, monitoring.
+    Monitoring,
+    /// Anomaly noticed; reaction clock running.
+    Reacting,
+    /// Driver physically in control.
+    Engaged,
+}
+
+impl DriverPhaseCode {
+    /// Single-character rendering for trace tables (`-`, `R`, `E`).
+    pub fn as_char(self) -> char {
+        match self {
+            DriverPhaseCode::Monitoring => '-',
+            DriverPhaseCode::Reacting => 'R',
+            DriverPhaseCode::Engaged => 'E',
+        }
+    }
+}
+
+/// One tick of the Fig. 5 pipeline, captured *after* `world.step` and the
+/// hazard check so every field reflects the executed cycle.
+///
+/// Counters (`bus_published`, `frames_rewritten`, …) are **cumulative**
+/// run totals, not per-tick deltas: cumulative values stay meaningful
+/// after ring-buffer wraparound and make divergence diffs stable.
+/// `gap`/`hwt` are `NaN` when undefined (no lead in range / ego stopped);
+/// the CSV export renders `NaN` as an empty cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickRecord {
+    /// Tick index (10 ms steps).
+    pub tick: u64,
+    /// Ego longitudinal position (m).
+    pub ego_s: f64,
+    /// Ego lateral offset from lane centre (m).
+    pub ego_d: f64,
+    /// Ego speed (m/s).
+    pub ego_v: f64,
+    /// Ego realized acceleration (m/s²).
+    pub ego_a: f64,
+    /// Ego steering-wheel angle (deg).
+    pub ego_steer_deg: f64,
+    /// Lead longitudinal position (m).
+    pub lead_s: f64,
+    /// Lead speed (m/s).
+    pub lead_v: f64,
+    /// Bumper-to-bumper gap (m); `NaN` when no lead is in range.
+    pub gap: f64,
+    /// Headway time gap/v_ego (s); `NaN` when undefined.
+    pub hwt: f64,
+    /// Whether the ADAS is engaged (longitudinal+lateral control active).
+    pub engaged: bool,
+    /// ACC raw desired acceleration (m/s²).
+    pub acc_desired: f64,
+    /// ACC clamped command (m/s²).
+    pub acc_cmd: f64,
+    /// ALC raw desired road-wheel angle (deg).
+    pub alc_desired_deg: f64,
+    /// ALC clamped command (deg).
+    pub alc_cmd_deg: f64,
+    /// Whether the ALC hit its saturation limit this cycle.
+    pub alc_saturated: bool,
+    /// Acceleration decoded at the actuator after the MITM stage (m/s²).
+    pub cmd_accel: f64,
+    /// Steering decoded at the actuator after the MITM stage (deg).
+    pub cmd_steer_deg: f64,
+    /// Acceleration actually applied to the world (driver may override).
+    pub applied_accel: f64,
+    /// Steering actually applied to the world (deg).
+    pub applied_steer_deg: f64,
+    /// Cumulative bus publishes per topic, indexed by [`Topic::index`].
+    pub bus_published: [u64; Topic::COUNT],
+    /// Whether the attack engine was injecting this tick.
+    pub attack_active: bool,
+    /// Cumulative CAN frames rewritten by the attack.
+    pub frames_rewritten: u64,
+    /// Cumulative frames blocked by Panda firmware checks.
+    pub panda_blocked: u64,
+    /// Cumulative ADAS alert events.
+    pub alert_events: u64,
+    /// Driver phase at the end of the tick.
+    pub driver_phase: DriverPhaseCode,
+    /// Cumulative hazard mask (bit 0 = H1, bit 1 = H2, bit 2 = H3).
+    pub hazard_mask: u8,
+    /// The H3 detector's consecutive-ticks-beyond-edge counter.
+    pub h3_streak: u32,
+    /// Whether the world has recorded a collision.
+    pub collided: bool,
+}
+
+impl TickRecord {
+    /// Simulated time of the record in seconds.
+    pub fn time_secs(&self) -> f64 {
+        self.tick as f64 * units::DT.secs()
+    }
+
+    /// Total bus publishes across all topics.
+    pub fn bus_published_total(&self) -> u64 {
+        self.bus_published.iter().sum()
+    }
+}
+
+/// A notable state transition extracted from the per-tick stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// The attack engine started injecting.
+    AttackActivated,
+    /// The attack engine stopped injecting (window over, or halted).
+    AttackDeactivated,
+    /// The ADAS raised one or more alerts this tick.
+    AlertRaised,
+    /// The driver noticed an anomaly (entered the reacting phase).
+    DriverNoticed,
+    /// The driver took over (entered the engaged phase).
+    DriverEngaged,
+    /// A hazard kind occurred for the first time.
+    Hazard(crate::HazardKind),
+    /// The world recorded a collision.
+    Collision,
+}
+
+/// A [`TraceEventKind`] stamped with its tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Tick at which the transition was observed.
+    pub tick: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = self.tick as f64 * units::DT.secs();
+        let label = match self.kind {
+            TraceEventKind::AttackActivated => "attack activated".to_string(),
+            TraceEventKind::AttackDeactivated => "attack deactivated".to_string(),
+            TraceEventKind::AlertRaised => "ADAS alert".to_string(),
+            TraceEventKind::DriverNoticed => "driver noticed anomaly".to_string(),
+            TraceEventKind::DriverEngaged => "driver engaged".to_string(),
+            TraceEventKind::Hazard(kind) => format!("hazard {kind:?}"),
+            TraceEventKind::Collision => "collision".to_string(),
+        };
+        write!(f, "t={t:6.2}s  tick {:>5}  {label}", self.tick)
+    }
+}

@@ -29,7 +29,7 @@ fn main() {
     while !harness.finished() {
         let tick = harness.step();
         let state = inference.update(tick);
-        if tick.index() % 200 == 0 {
+        if tick.index().is_multiple_of(200) {
             let actions = table.matching_actions(&state);
             let rule = actions
                 .iter()

@@ -5,7 +5,7 @@ use attack_core::{AttackConfig, AttackType, StrategyKind, ValueMode};
 use canbus::{decode, VirtualCarDbc};
 use driving_sim::{Scenario, ScenarioId};
 use msgbus::{Payload, Topic};
-use platform::{Harness, HarnessConfig};
+use platform::{trace_assert, Harness, HarnessConfig, TraceConfig};
 use units::Distance;
 
 fn scenario() -> Scenario {
@@ -14,25 +14,30 @@ fn scenario() -> Scenario {
 
 /// The ADAS keeps the car following the lead for a whole attack-free run:
 /// speed converges near the lead's, the gap stabilises around the desired
-/// following distance, and the car stays in its lane.
+/// following distance, and the car stays in its lane. Runs with the flight
+/// recorder attached so a failure prints the final trace ticks.
 #[test]
 fn closed_loop_following_is_stable() {
-    let mut h = Harness::new(HarnessConfig::no_attack(scenario(), 21));
+    let mut h = Harness::new(
+        HarnessConfig::no_attack(scenario(), 21).traced(TraceConfig::enabled(64)),
+    );
     while !h.finished() {
         h.step();
     }
     let w = h.world();
     let v = w.ego().speed().mph();
-    assert!(
+    trace_assert!(
+        h,
         (45.0..55.0).contains(&v),
         "settled near the 50 mph lead, got {v:.1} mph"
     );
     let hwt = w.gap().raw() / w.ego().speed().mps();
-    assert!(
+    trace_assert!(
+        h,
         (1.8..3.2).contains(&hwt),
         "headway near the 2.2 s policy + 4 m, got {hwt:.2} s"
     );
-    assert!(w.ego().d().raw().abs() < 1.0, "still in lane");
+    trace_assert!(h, w.ego().d().raw().abs() < 1.0, "still in lane");
 }
 
 /// Every message topic sees traffic each control cycle, and an external

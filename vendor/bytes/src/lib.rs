@@ -1,0 +1,169 @@
+//! Offline stand-in for the [`bytes`](https://crates.io/crates/bytes)
+//! crate.
+//!
+//! `canbus` uses `Bytes`/`BytesMut` as append-only capture buffers, never
+//! for zero-copy slicing, so plain `Vec<u8>` backing is sufficient. The
+//! `BufMut` put-methods are big-endian, matching the real crate (and the
+//! `from_be_bytes` parsing in `canbus::Capture::parse`).
+
+use std::ops::{Deref, DerefMut};
+
+/// Immutable byte buffer (stand-in for `bytes::Bytes`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub const fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Returns a new buffer covering `range` (copying; the real crate
+    /// shares the allocation, which callers cannot observe).
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.data.len(),
+        };
+        Self {
+            data: self.data[start..end].to_vec(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+}
+
+/// Growable byte buffer (stand-in for `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub const fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+/// Big-endian append interface (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a `u16` big-endian.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a `u32` big-endian.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a `u64` big-endian.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{BufMut, Bytes, BytesMut};
+
+    #[test]
+    fn put_methods_are_big_endian() {
+        let mut buf = BytesMut::new();
+        buf.put_u64(0x0102_0304_0506_0708);
+        buf.put_u16(0x090A);
+        buf.put_u8(0x0B);
+        buf.put_slice(&[0x0C, 0x0D]);
+        let frozen: Bytes = buf.freeze();
+        assert_eq!(
+            &frozen[..],
+            &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]
+        );
+        assert_eq!(frozen.len(), 13);
+    }
+
+    #[test]
+    fn copy_from_slice_round_trips() {
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(&b[1..], &[2, 3]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the macro/API surface `crates/bench/benches/micro.rs` uses
+//! (`black_box`, `Criterion::bench_function`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!`) over a simple calibrated
+//! wall-clock runner: each benchmark is warmed up, calibrated to a target
+//! measurement window, then sampled several times; the median
+//! nanoseconds-per-iteration is reported on stdout. No statistics files,
+//! no HTML reports, no CLI filtering.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(200),
+            samples: 7,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder hook kept for API compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its median time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.samples,
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        println!("{name:<28} time: {}", format_ns(bencher.median_ns));
+        self
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing the median ns/iteration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up while estimating the per-iteration cost.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, u64::MAX);
+
+        let mut sample_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                t.elapsed().as_secs_f64() * 1e9 / batch as f64
+            })
+            .collect();
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = sample_ns[sample_ns.len() / 2];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

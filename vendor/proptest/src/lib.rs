@@ -1,0 +1,132 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The shim keeps proptest's surface syntax — the `proptest!` macro,
+//! `prop_assert!`, strategies built from ranges / tuples /
+//! `prop::sample::select` / `prop_map` / `collection::vec` /
+//! `option::of` / `any::<T>()` — but replaces the engine with plain
+//! deterministic random testing:
+//!
+//! - every test function runs `ProptestConfig::cases` iterations with
+//!   inputs drawn from a generator seeded from the test's name, so runs
+//!   are reproducible without a persistence file;
+//! - there is **no shrinking**: a failing case panics with the values the
+//!   `proptest!` macro bound, which the workspace's trace-aware
+//!   assertions make diagnosable anyway.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Convenience re-exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of the `prop` module re-export in the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Defines deterministic random-input test functions.
+///
+/// Supports the subset of the real macro's grammar used in this
+/// workspace: an optional `#![proptest_config(...)]` header and test
+/// functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)) => {};
+    (@with_config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner_rng =
+                $crate::test_runner::TestRng::from_test_name(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut runner_rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled() -> impl Strategy<Value = f64> {
+        (0.0..10.0f64).prop_map(|x| 2.0 * x)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps(x in 1.0..5.0f64, y in doubled(), n in 0u8..4) {
+            prop_assert!((1.0..5.0).contains(&x));
+            prop_assert!((0.0..20.0).contains(&y));
+            prop_assert!(n < 4);
+        }
+
+        #[test]
+        fn collections_and_options(
+            xs in crate::collection::vec(0.0..1.0f64, 3..10),
+            pair in crate::option::of((0u64..5, 0.0..1.0f64)),
+            pick in crate::sample::select(vec![2, 4, 6]),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 10);
+            if let Some((a, b)) = pair {
+                prop_assert!(a < 5 && (0.0..1.0).contains(&b));
+            }
+            prop_assert_eq!(pick % 2, 0);
+            prop_assert!(u8::from(flag) <= 1);
+        }
+    }
+
+    #[test]
+    fn same_test_name_draws_identical_sequences() {
+        let draw = || {
+            let mut rng = crate::test_runner::TestRng::from_test_name("stable-name");
+            Strategy::new_value(&(0.0..1.0f64), &mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+}

@@ -1,0 +1,31 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy that picks uniformly from a fixed list.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    choices: Vec<T>,
+}
+
+/// Uniformly selects one of `choices`.
+///
+/// # Panics
+///
+/// Panics (on first draw) if `choices` is empty.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    Select { choices }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        assert!(!self.choices.is_empty(), "select requires at least one choice");
+        let i = rng.rng.gen_range(0..self.choices.len());
+        self.choices[i].clone()
+    }
+}

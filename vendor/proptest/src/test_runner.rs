@@ -1,0 +1,57 @@
+//! Test configuration and the deterministic per-test generator.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test function runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default (256) is tuned for shrinking-capable engines;
+        // 64 deterministic cases keeps tier-1 wall-clock low while still
+        // exercising the input space.
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic generator backing a `proptest!` test function.
+///
+/// Seeded from the fully-qualified test name (FNV-1a), so every run of
+/// the suite sees the same inputs without a regression-persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from a test name.
+    pub fn from_test_name(name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}

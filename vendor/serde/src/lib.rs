@@ -1,0 +1,21 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde)
+//! crate.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a
+//! forward-compatibility marker — nothing actually serializes through
+//! serde (the trace layer's CSV/JSON export is hand-rolled). The traits
+//! here are therefore empty markers with blanket impls, and the derives
+//! (re-exported from the vendored `serde_derive`) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; implemented for every
+/// type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
