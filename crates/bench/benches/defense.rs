@@ -56,7 +56,7 @@ fn main() {
                 (d >= t_a).then(|| (d - t_a).secs())
             })
             .collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        latencies.sort_by(f64::total_cmp);
         let median = latencies
             .get(latencies.len() / 2)
             .map_or(f64::NAN, |v| *v);

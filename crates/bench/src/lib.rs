@@ -17,6 +17,9 @@
 //! for Random-ST+DUR). Set `REPRO_SCALE=<divisor>` to shrink them for a
 //! quick pass, e.g. `REPRO_SCALE=10` runs 144-sim campaigns.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::float_cmp)]
+
 use platform::metrics::MeanStd;
 
 /// Reads the campaign scale divisor from `REPRO_SCALE` (default 1 = full

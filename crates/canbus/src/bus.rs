@@ -171,19 +171,32 @@ impl Capture {
         self.buf.freeze()
     }
 
-    /// Parses a frozen capture back into `(tick, frame)` records.
+    /// Parses a frozen capture back into `(tick, frame)` records. Truncated
+    /// or malformed records terminate the parse rather than panicking.
     pub fn parse(bytes: &Bytes) -> Vec<(Tick, CanFrame)> {
         let mut out = Vec::new();
         let mut i = 0usize;
-        while i + 11 <= bytes.len() {
-            let tick = u64::from_be_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
-            let id = u16::from_be_bytes(bytes[i + 8..i + 10].try_into().expect("2 bytes"));
-            let dlc = bytes[i + 10] as usize;
-            i += 11;
-            if i + dlc > bytes.len() {
+        while let Some(tick_bytes) = bytes
+            .get(i..i + 8)
+            .and_then(|s| <[u8; 8]>::try_from(s).ok())
+        {
+            let Some(id_bytes) = bytes
+                .get(i + 8..i + 10)
+                .and_then(|s| <[u8; 2]>::try_from(s).ok())
+            else {
                 break;
-            }
-            if let Ok(frame) = CanFrame::new(id, &bytes[i..i + dlc]) {
+            };
+            let Some(&dlc_byte) = bytes.get(i + 10) else {
+                break;
+            };
+            let tick = u64::from_be_bytes(tick_bytes);
+            let id = u16::from_be_bytes(id_bytes);
+            let dlc = dlc_byte as usize;
+            i += 11;
+            let Some(payload) = bytes.get(i..i + dlc) else {
+                break;
+            };
+            if let Ok(frame) = CanFrame::new(id, payload) {
                 out.push((Tick::new(tick), frame));
             }
             i += dlc;

@@ -48,12 +48,10 @@ pub fn verify_honda_checksum(id: u16, data: &[u8]) -> bool {
 
 /// Applies the checksum in place (low nibble of the last byte).
 pub fn apply_honda_checksum(id: u16, data: &mut [u8]) {
-    if data.is_empty() {
-        return;
-    }
     let cs = honda_checksum(id, data);
-    let last = data.len() - 1;
-    data[last] = (data[last] & 0xF0) | cs;
+    if let Some(last) = data.last_mut() {
+        *last = (*last & 0xF0) | cs;
+    }
 }
 
 /// A 2-bit rolling counter, incremented per transmission of a message.

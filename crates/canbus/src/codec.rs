@@ -40,6 +40,7 @@ impl Encoder {
     ///
     /// Returns [`CanError::UnknownSignal`] for names not in the spec and
     /// [`CanError::ValueOutOfRange`] for values that do not fit.
+    // adas-lint: allow(R1, reason = "DBC physical values are unit-erased by definition; units attach at the schema layer")
     pub fn encode(
         &mut self,
         spec: &MessageSpec,
@@ -57,15 +58,28 @@ impl Encoder {
             signal.insert_raw(&mut data, counter.next_value() as u64);
         }
         if spec.checksum_signal.is_some() {
-            apply_honda_checksum(spec.id, &mut data[..spec.dlc as usize]);
+            apply_honda_checksum(spec.id, payload_mut(&mut data, spec.dlc));
         }
-        CanFrame::new(spec.id, &data[..spec.dlc as usize])
+        CanFrame::new(spec.id, payload(&data, spec.dlc))
     }
+}
+
+/// The live payload region of a scratch buffer, clamped to the 8-byte CAN
+/// maximum so a malformed spec cannot cause an out-of-bounds slice.
+fn payload(data: &[u8; 8], dlc: u8) -> &[u8] {
+    data.get(..(dlc as usize).min(8)).unwrap_or(&[])
+}
+
+/// Mutable variant of [`payload`].
+fn payload_mut(data: &mut [u8; 8], dlc: u8) -> &mut [u8] {
+    data.get_mut(..(dlc as usize).min(8)).unwrap_or(&mut [])
 }
 
 fn frame_data(frame: &CanFrame) -> [u8; 8] {
     let mut data = [0u8; 8];
-    data[..frame.data().len()].copy_from_slice(frame.data());
+    for (dst, src) in data.iter_mut().zip(frame.data()) {
+        *dst = *src;
+    }
     data
 }
 
@@ -79,6 +93,7 @@ fn frame_data(frame: &CanFrame) -> [u8; 8] {
 ///
 /// Returns [`CanError::IdMismatch`] if the frame id differs from the spec and
 /// [`CanError::ChecksumMismatch`] if verification fails.
+// adas-lint: allow(R1, reason = "DBC physical values are unit-erased by definition; units attach at the schema layer")
 pub fn decode(
     spec: &MessageSpec,
     frame: &CanFrame,
@@ -99,6 +114,7 @@ pub fn decode(
 
 /// Decodes all signals without verifying the checksum. Useful for an
 /// eavesdropper who only reads, or for diagnosing corrupted traffic.
+// adas-lint: allow(R1, reason = "DBC physical values are unit-erased by definition; units attach at the schema layer")
 pub fn decode_unchecked(spec: &MessageSpec, frame: &CanFrame) -> BTreeMap<&'static str, f64> {
     let data = frame_data(frame);
     spec.signals
@@ -115,6 +131,7 @@ pub fn decode_unchecked(spec: &MessageSpec, frame: &CanFrame) -> BTreeMap<&'stat
 ///
 /// Returns [`CanError::IdMismatch`], [`CanError::UnknownSignal`] or
 /// [`CanError::ValueOutOfRange`] under the corresponding conditions.
+// adas-lint: allow(R1, reason = "DBC physical values are unit-erased by definition; units attach at the schema layer")
 pub fn rewrite_signal(
     spec: &MessageSpec,
     frame: &CanFrame,
@@ -132,12 +149,13 @@ pub fn rewrite_signal(
     let mut data = frame_data(frame);
     signal.insert_raw(&mut data, raw);
     if spec.checksum_signal.is_some() {
-        apply_honda_checksum(spec.id, &mut data[..spec.dlc as usize]);
+        apply_honda_checksum(spec.id, payload_mut(&mut data, spec.dlc));
     }
-    CanFrame::new(spec.id, &data[..spec.dlc as usize])
+    CanFrame::new(spec.id, payload(&data, spec.dlc))
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable values
 mod tests {
     use super::*;
     use crate::VirtualCarDbc;

@@ -64,9 +64,17 @@ fn command_message(
 }
 
 /// The full message database of the virtual car.
+///
+/// Each well-known message is a named field rather than a slot in a looked-up
+/// table, so the accessors below are infallible by construction — no
+/// `expect("always present")` on the safety path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VirtualCarDbc {
-    messages: Vec<MessageSpec>,
+    steering_control: MessageSpec,
+    gas_command: MessageSpec,
+    brake_command: MessageSpec,
+    wheel_speeds: MessageSpec,
+    steer_status: MessageSpec,
 }
 
 impl Default for VirtualCarDbc {
@@ -79,23 +87,23 @@ impl VirtualCarDbc {
     /// Builds the database.
     pub fn new() -> Self {
         let (ws_counter, ws_checksum) = tail(8);
-        let messages = vec![
+        Self {
             // Actuator commands (ADAS -> car), the attack's targets.
-            command_message(
+            steering_control: command_message(
                 STEERING_CONTROL_ID,
                 "STEERING_CONTROL",
                 "STEER_ANGLE_CMD",
                 0.01, // degrees per bit
                 "STEER_REQ",
             ),
-            command_message(
+            gas_command: command_message(
                 GAS_COMMAND_ID,
                 "GAS_COMMAND",
                 "ACCEL_CMD",
                 0.001, // m/s^2 per bit
                 "GAS_REQ",
             ),
-            command_message(
+            brake_command: command_message(
                 BRAKE_COMMAND_ID,
                 "BRAKE_COMMAND",
                 "BRAKE_CMD",
@@ -103,7 +111,7 @@ impl VirtualCarDbc {
                 "BRAKE_REQ",
             ),
             // Feedback (car -> ADAS).
-            MessageSpec {
+            wheel_speeds: MessageSpec {
                 id: WHEEL_SPEEDS_ID,
                 name: "WHEEL_SPEEDS",
                 dlc: 8,
@@ -116,7 +124,7 @@ impl VirtualCarDbc {
                 checksum_signal: Some("CHECKSUM"),
                 counter_signal: Some("COUNTER"),
             },
-            MessageSpec {
+            steer_status: MessageSpec {
                 id: STEER_STATUS_ID,
                 name: "STEER_STATUS",
                 dlc: 6,
@@ -127,48 +135,53 @@ impl VirtualCarDbc {
                 checksum_signal: Some("CHECKSUM"),
                 counter_signal: Some("COUNTER"),
             },
-        ];
-        Self { messages }
+        }
     }
 
-    /// All message specs.
-    pub fn messages(&self) -> &[MessageSpec] {
-        &self.messages
+    /// All message specs, in id-independent declaration order.
+    pub fn messages(&self) -> [&MessageSpec; 5] {
+        [
+            &self.steering_control,
+            &self.gas_command,
+            &self.brake_command,
+            &self.wheel_speeds,
+            &self.steer_status,
+        ]
     }
 
     /// Looks up a message by frame identifier.
     pub fn by_id(&self, id: u16) -> Option<&MessageSpec> {
-        self.messages.iter().find(|m| m.id == id)
+        self.messages().into_iter().find(|m| m.id == id)
     }
 
     /// Looks up a message by name.
     pub fn by_name(&self, name: &str) -> Option<&MessageSpec> {
-        self.messages.iter().find(|m| m.name == name)
+        self.messages().into_iter().find(|m| m.name == name)
     }
 
     /// The steering command message (`0xE4`).
     pub fn steering_control(&self) -> &MessageSpec {
-        self.by_id(STEERING_CONTROL_ID).expect("always present")
+        &self.steering_control
     }
 
     /// The gas command message.
     pub fn gas_command(&self) -> &MessageSpec {
-        self.by_id(GAS_COMMAND_ID).expect("always present")
+        &self.gas_command
     }
 
     /// The brake command message.
     pub fn brake_command(&self) -> &MessageSpec {
-        self.by_id(BRAKE_COMMAND_ID).expect("always present")
+        &self.brake_command
     }
 
     /// The wheel-speed feedback message.
     pub fn wheel_speeds(&self) -> &MessageSpec {
-        self.by_id(WHEEL_SPEEDS_ID).expect("always present")
+        &self.wheel_speeds
     }
 
     /// The steering-angle feedback message.
     pub fn steer_status(&self) -> &MessageSpec {
-        self.by_id(STEER_STATUS_ID).expect("always present")
+        &self.steer_status
     }
 }
 

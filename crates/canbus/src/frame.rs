@@ -46,7 +46,9 @@ impl CanFrame {
             return Err(crate::CanError::InvalidDlc { dlc: data.len() });
         }
         let mut buf = [0u8; 8];
-        buf[..data.len()].copy_from_slice(data);
+        for (dst, src) in buf.iter_mut().zip(data) {
+            *dst = *src;
+        }
         Ok(Self {
             id,
             dlc: data.len() as u8,
@@ -69,13 +71,13 @@ impl CanFrame {
     /// The payload bytes (exactly `dlc` of them).
     #[inline]
     pub fn data(&self) -> &[u8] {
-        &self.data[..self.dlc as usize]
+        self.data.get(..self.dlc as usize).unwrap_or(&[])
     }
 
     /// Mutable access to the payload bytes.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [u8] {
-        &mut self.data[..self.dlc as usize]
+        self.data.get_mut(..self.dlc as usize).unwrap_or(&mut [])
     }
 
     /// The payload as a cheap, shareable byte buffer.
@@ -96,11 +98,13 @@ impl CanFrame {
     /// Replaces the payload with the given 64-bit big-endian word (keeping
     /// the current `dlc`).
     pub fn set_u64(&mut self, word: u64) {
-        for i in 0..8 {
-            self.data[i] = ((word >> (56 - 8 * i)) & 0xFF) as u8;
-        }
-        for b in &mut self.data[self.dlc as usize..] {
-            *b = 0;
+        let dlc = self.dlc as usize;
+        for (i, b) in self.data.iter_mut().enumerate() {
+            *b = if i < dlc {
+                ((word >> (56 - 8 * i)) & 0xFF) as u8
+            } else {
+                0
+            };
         }
     }
 }

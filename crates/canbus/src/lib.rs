@@ -39,6 +39,9 @@
 //! # Ok::<(), canbus::CanError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(clippy::float_cmp)]
+
 #![warn(missing_docs)]
 
 mod bus;

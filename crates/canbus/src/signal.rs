@@ -77,6 +77,7 @@ impl Signal {
     ///
     /// Returns [`CanError::ValueOutOfRange`] if the scaled value does not fit
     /// in the signal's bit width.
+    // adas-lint: allow(R1, reason = "DBC physical values are unit-erased by definition; units attach at the schema layer")
     pub fn phys_to_raw(&self, value: f64) -> Result<u64, CanError> {
         let raw = ((value - self.offset) / self.factor).round();
         if !raw.is_finite() || raw < self.raw_min() as f64 || raw > self.raw_max() as f64 {
@@ -95,6 +96,7 @@ impl Signal {
     }
 
     /// Converts a raw integer back to its physical value.
+    // adas-lint: allow(R1, reason = "DBC physical values are unit-erased by definition; units attach at the schema layer")
     pub fn raw_to_phys(&self, raw: u64) -> f64 {
         let value = if self.signed && self.length < 64 {
             let sign_bit = 1u64 << (self.length - 1);
@@ -155,25 +157,19 @@ impl Signal {
 /// Frame-bit addressing shared by both orders: bit `pos` lives in byte
 /// `pos / 8` at in-byte position `pos % 8` (LSB = 0).
 fn set_bit_le(data: &mut [u8; 8], pos: u16, value: bool) {
-    let byte = (pos / 8) as usize;
     let bit = pos % 8;
-    if byte < 8 {
+    if let Some(byte) = data.get_mut((pos / 8) as usize) {
         if value {
-            data[byte] |= 1 << bit;
+            *byte |= 1 << bit;
         } else {
-            data[byte] &= !(1 << bit);
+            *byte &= !(1 << bit);
         }
     }
 }
 
 fn get_bit_le(data: &[u8; 8], pos: u16) -> u8 {
-    let byte = (pos / 8) as usize;
     let bit = pos % 8;
-    if byte < 8 {
-        (data[byte] >> bit) & 1
-    } else {
-        0
-    }
+    data.get((pos / 8) as usize).map_or(0, |byte| (byte >> bit) & 1)
 }
 
 /// Advances a Motorola bit cursor: down within a byte, then to the MSB of the

@@ -100,6 +100,7 @@ impl AttackType {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable values
 mod tests {
     use super::*;
 

@@ -177,6 +177,7 @@ fn nearest_edge(state: &ContextState) -> SteerDirection {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable values
 mod tests {
     use super::*;
     use crate::{AttackType, StrategyKind, ValueMode};

@@ -67,6 +67,7 @@ impl Injector {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable values
 mod tests {
     use super::*;
     use canbus::{decode, Encoder};

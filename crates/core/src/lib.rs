@@ -42,6 +42,9 @@
 //! assert!(!engine.is_active(), "waits for a critical context");
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(clippy::float_cmp)]
+
 #![warn(missing_docs)]
 
 mod attack_type;

@@ -40,6 +40,9 @@
 //! assert_eq!(verdict, MonitorVerdict::Suspicious);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(clippy::float_cmp)]
+
 #![warn(missing_docs)]
 
 mod invariant;

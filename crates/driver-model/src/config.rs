@@ -54,6 +54,7 @@ impl Default for DriverConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable values
 mod tests {
     use super::*;
 

@@ -36,6 +36,9 @@
 //! assert!(driver.noticed_at().is_some(), "single-step anomaly noticed");
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(clippy::float_cmp)]
+
 #![warn(missing_docs)]
 
 mod config;

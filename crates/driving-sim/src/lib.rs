@@ -37,6 +37,9 @@
 //! assert!(world.gap().raw() < 70.0, "ego is faster, so the gap closes");
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(clippy::float_cmp)]
+
 #![warn(missing_docs)]
 
 mod collision;

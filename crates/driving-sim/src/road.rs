@@ -51,7 +51,7 @@ impl Road {
         left_guardrail: Distance,
     ) -> Self {
         assert!(
-            curvature_profile.first().is_some_and(|(s, _)| *s == 0.0),
+            curvature_profile.first().is_some_and(|(s, _)| s.abs() < 1e-9),
             "curvature profile must start at s = 0"
         );
         Self {
@@ -115,6 +115,7 @@ impl Road {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable values
 mod tests {
     use super::*;
 

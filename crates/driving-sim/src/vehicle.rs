@@ -151,10 +151,12 @@ impl Vehicle {
         // Longitudinal: first-order lag toward the request.
         let target = cmd.accel.clamp(self.params.max_brake, self.params.max_accel);
         let alpha = dt / (self.params.accel_tau.secs() + dt);
+        // adas-lint: allow(R3, reason = "plant model integrating its own actuator state, not a command path")
         self.accel = self.accel + (target - self.accel) * alpha;
         let mut v = self.speed.mps() + self.accel.mps2() * dt;
         if v < 0.0 {
             v = 0.0;
+            // adas-lint: allow(R3, reason = "plant model integrating its own actuator state, not a command path")
             self.accel = Accel::ZERO;
         }
 
@@ -162,6 +164,7 @@ impl Vehicle {
         let max_delta = self.params.steer_rate_limit * dt;
         let err = cmd.steer - self.steer;
         let delta = err.clamp(-max_delta, max_delta);
+        // adas-lint: allow(R3, reason = "plant model integrating its own actuator state, not a command path")
         self.steer += delta;
 
         // Bicycle-model kinematics in Frenet coordinates. The commanded
@@ -178,6 +181,7 @@ impl Vehicle {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable values
 mod tests {
     use super::*;
 

@@ -1,0 +1,212 @@
+//! The diagnostic model: rules, severities, and machine-readable output.
+
+use std::fmt;
+
+/// The safety invariants adas-lint enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1 — public APIs of the safety-path crates must pass speeds,
+    /// distances, angles, and accelerations as `units::` newtypes, not raw
+    /// `f64`/`f32`.
+    UnitSafety,
+    /// R2 — no `unwrap()` / `expect()` / `panic!` / array indexing in
+    /// non-test library code of the safety-path crates.
+    PanicFreedom,
+    /// R3 — direct writes to gas/brake/steer command fields only inside
+    /// `openadas::safety`, `openadas::controls`, and the attack engine's
+    /// designated mutation points.
+    ActuatorContainment,
+    /// R4 — no `==`/`!=` on floats and no NaN-unchecked
+    /// `partial_cmp().unwrap()` in control code.
+    FloatHygiene,
+    /// R5 — no wall-clock time or entropy-seeded RNG construction outside
+    /// the benchmark harness; everything else must stay replayable.
+    Determinism,
+}
+
+/// All rules, in report order.
+pub const ALL_RULES: [Rule; 5] = [
+    Rule::UnitSafety,
+    Rule::PanicFreedom,
+    Rule::ActuatorContainment,
+    Rule::FloatHygiene,
+    Rule::Determinism,
+];
+
+impl Rule {
+    /// Short identifier (`R1`…`R5`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::UnitSafety => "R1",
+            Rule::PanicFreedom => "R2",
+            Rule::ActuatorContainment => "R3",
+            Rule::FloatHygiene => "R4",
+            Rule::Determinism => "R5",
+        }
+    }
+
+    /// Long kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnitSafety => "unit-safety",
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::ActuatorContainment => "actuator-containment",
+            Rule::FloatHygiene => "float-hygiene",
+            Rule::Determinism => "determinism",
+        }
+    }
+
+    /// One-line description, shown by `--list-rules`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::UnitSafety => {
+                "public APIs of safety-path crates take units:: newtypes, not raw f64"
+            }
+            Rule::PanicFreedom => {
+                "no unwrap()/expect()/panic!/array-index in non-test safety-path library code"
+            }
+            Rule::ActuatorContainment => {
+                "gas/brake/steer command fields written only in designated modules"
+            }
+            Rule::FloatHygiene => {
+                "no float ==/!= and no NaN-unchecked partial_cmp().unwrap() in control code"
+            }
+            Rule::Determinism => {
+                "no wall-clock time or entropy-seeded RNGs outside the bench harness"
+            }
+        }
+    }
+
+    /// Parses `R2` / `r2` / `panic-freedom` style names.
+    pub fn parse(s: &str) -> Option<Rule> {
+        let s = s.trim();
+        ALL_RULES
+            .into_iter()
+            .find(|r| r.id().eq_ignore_ascii_case(s) || r.name().eq_ignore_ascii_case(s))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+/// Diagnostic severity. Every rule currently reports errors; the variant
+/// exists so future advisory rules can ride the same pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Gate-failing finding.
+    Error,
+    /// Advisory finding; reported but does not affect the exit code.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase label used in both output formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One finding at one site.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Violated rule.
+    pub rule: Rule,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Human explanation of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the compiler-style human form.
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}[{}/{}]: {}\n  --> {}:{}\n   | {}\n",
+            self.severity.label(),
+            self.rule.id(),
+            self.rule.name(),
+            self.message,
+            self.file,
+            self.line,
+            self.snippet,
+        )
+    }
+
+    /// Renders one JSON object (no trailing newline).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"snippet\":\"{}\",\"message\":\"{}\"}}",
+            self.rule.id(),
+            self.rule.name(),
+            self.severity.label(),
+            json_escape(&self.file),
+            self.line,
+            json_escape(&self.snippet),
+            json_escape(&self.message),
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_parse_roundtrip() {
+        for r in ALL_RULES {
+            assert_eq!(Rule::parse(r.id()), Some(r));
+            assert_eq!(Rule::parse(r.name()), Some(r));
+            assert_eq!(Rule::parse(&r.id().to_lowercase()), Some(r));
+        }
+        assert_eq!(Rule::parse("R9"), None);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn human_render_contains_location() {
+        let d = Diagnostic {
+            rule: Rule::PanicFreedom,
+            severity: Severity::Error,
+            file: "crates/openadas/src/adas.rs".into(),
+            line: 42,
+            snippet: "x.unwrap()".into(),
+            message: "`.unwrap()` in safety-path library code".into(),
+        };
+        let h = d.render_human();
+        assert!(h.contains("error[R2/panic-freedom]"));
+        assert!(h.contains("crates/openadas/src/adas.rs:42"));
+    }
+}

@@ -1,0 +1,164 @@
+//! `adas-lint` — workspace-native safety-invariant static analysis.
+//!
+//! The paper this workspace reproduces (Zhou et al., DSN 2022) shows that
+//! ADAS attacks succeed precisely by keeping corrupted values *inside* the
+//! safety-check envelope, so the reproduction's own safety layer, unit
+//! handling, and determinism guarantees are machine-checked rather than
+//! convention-checked. Five rules run over every workspace `.rs` file:
+//!
+//! | Rule | Name                  | Invariant                                            |
+//! |------|-----------------------|------------------------------------------------------|
+//! | R1   | `unit-safety`         | public APIs use `units::` newtypes, not raw `f64`    |
+//! | R2   | `panic-freedom`       | no `unwrap`/`expect`/`panic!`/indexing in safety path|
+//! | R3   | `actuator-containment`| actuator command writes only in designated modules   |
+//! | R4   | `float-hygiene`       | no float `==`, no NaN-unchecked `partial_cmp`        |
+//! | R5   | `determinism`         | no wall clock / entropy RNGs outside the bench rig   |
+//!
+//! Findings can be acknowledged two ways: an inline
+//! `// adas-lint: allow(<rule>, reason = "…")` comment for sites that are
+//! correct by construction, or the checked-in `lint-baseline.txt` for
+//! grandfathered code. Everything else fails the build: the
+//! `tests/lint_clean.rs` integration test runs the scan under `cargo test`.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::float_cmp)]
+
+pub mod baseline;
+pub mod diag;
+pub mod rules;
+pub mod scope;
+pub mod tokenizer;
+
+pub use baseline::{Baseline, BaselineEntry};
+pub use diag::{Diagnostic, Rule, Severity, ALL_RULES};
+pub use scope::{classify, FileInfo, FileKind};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned: build output, vendored dep shims (not our
+/// code), VCS internals, and the lint's own deliberately-violating test
+/// fixtures.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", ".github", "fixtures"];
+
+/// Result of a workspace scan.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Findings that survived inline suppressions and the baseline.
+    pub active: Vec<Diagnostic>,
+    /// Findings absorbed by the baseline file.
+    pub baselined: usize,
+    /// Findings absorbed by inline `allow` comments.
+    pub suppressed: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Baseline entries that matched nothing (stale).
+    pub unused_baseline: Vec<BaselineEntry>,
+}
+
+/// Scans one source text as if it lived at `rel_path`. No baseline is
+/// applied; inline suppressions are honored. This is the entry point the
+/// tests use to prove rules fire.
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let info = classify(rel_path);
+    let file = tokenizer::tokenize(source);
+    rules::check_file(&info, &file)
+}
+
+/// Collects every scannable `.rs` file under `root`, workspace-relative,
+/// sorted for deterministic output.
+pub fn collect_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scans the whole workspace, applying `baseline` if given.
+pub fn scan_workspace(root: &Path, mut baseline: Option<Baseline>) -> io::Result<ScanReport> {
+    let mut report = ScanReport::default();
+    for rel in collect_files(root)? {
+        let source = fs::read_to_string(root.join(&rel))?;
+        let info = classify(&rel);
+        let file = tokenizer::tokenize(&source);
+        let diags = rules::check_file(&info, &file);
+        report.suppressed += rules::count_suppressed(&info, &file);
+        report.files_scanned += 1;
+        for d in diags {
+            if baseline.as_mut().is_some_and(|b| b.matches(&d)) {
+                report.baselined += 1;
+            } else {
+                report.active.push(d);
+            }
+        }
+    }
+    if let Some(b) = baseline {
+        report.unused_baseline = b.unused();
+    }
+    report
+        .active
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Default baseline location: `lint-baseline.txt` at the workspace root.
+pub fn default_baseline_path(root: &Path) -> PathBuf {
+    root.join("lint-baseline.txt")
+}
+
+/// Loads the baseline at `path`; a missing file is an empty baseline.
+pub fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    match fs::read_to_string(path) {
+        Ok(text) => Baseline::parse(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Baseline::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Locates the workspace root from the lint crate's own manifest dir —
+/// used by the integration tests so `cargo test` works from any directory.
+pub fn workspace_root_from_manifest(manifest_dir: &str) -> PathBuf {
+    Path::new(manifest_dir)
+        .ancestors()
+        .nth(2)
+        .unwrap_or(Path::new("."))
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_source_fires_on_injected_violation() {
+        let d = scan_source(
+            "crates/openadas/src/injected.rs",
+            "pub fn set(&mut self, speed: f64) { self.v.unwrap(); }\n",
+        );
+        assert!(d.iter().any(|d| d.rule == Rule::UnitSafety));
+        assert!(d.iter().any(|d| d.rule == Rule::PanicFreedom));
+    }
+
+    #[test]
+    fn workspace_root_resolution() {
+        let root = workspace_root_from_manifest("/a/b/crates/lint");
+        assert_eq!(root, Path::new("/a/b"));
+    }
+}

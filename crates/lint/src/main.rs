@@ -1,0 +1,199 @@
+//! The `adas-lint` command-line gate.
+//!
+//! ```text
+//! cargo run -p adas-lint                      # human output, exit 1 on findings
+//! cargo run -p adas-lint -- --format json     # machine-readable report
+//! cargo run -p adas-lint -- --write-baseline  # grandfather current findings
+//! cargo run -p adas-lint -- --list-rules      # rule reference
+//! ```
+//!
+//! Exit codes: `0` clean, `1` active findings, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use adas_lint::{baseline, default_baseline_path, load_baseline, scan_workspace, ALL_RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    format: Format,
+    baseline_path: Option<PathBuf>,
+    use_baseline: bool,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+const USAGE: &str = "adas-lint — safety-invariant static analysis for this workspace
+
+USAGE:
+    adas-lint [--root DIR] [--format human|json] [--baseline FILE]
+              [--no-baseline] [--write-baseline] [--list-rules]
+
+OPTIONS:
+    --root DIR         Workspace root to scan (default: auto-detected)
+    --format FMT       Output format: human (default) or json
+    --baseline FILE    Baseline file (default: <root>/lint-baseline.txt)
+    --no-baseline      Ignore the baseline; report every finding
+    --write-baseline   Rewrite the baseline from current findings and exit
+    --list-rules       Print the rule table and exit
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: adas_lint::workspace_root_from_manifest(env!("CARGO_MANIFEST_DIR")),
+        format: Format::Human,
+        baseline_path: None,
+        use_baseline: true,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a value")?);
+            }
+            "--format" => match args.next().as_deref() {
+                Some("human") => opts.format = Format::Human,
+                Some("json") => opts.format = Format::Json,
+                other => return Err(format!("--format must be human or json, got {other:?}")),
+            },
+            "--baseline" => {
+                opts.baseline_path =
+                    Some(PathBuf::from(args.next().ok_or("--baseline needs a value")?));
+            }
+            "--no-baseline" => opts.use_baseline = false,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in ALL_RULES {
+            println!("{} {:22} {}", rule.id(), rule.name(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| default_baseline_path(&opts.root));
+
+    if opts.write_baseline {
+        let report = match scan_workspace(&opts.root, None) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let text = baseline::render(&report.active);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("error: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wrote {} entries to {}",
+            report.active.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if opts.use_baseline {
+        match load_baseline(&baseline_path) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+
+    let report = match scan_workspace(&opts.root, baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match opts.format {
+        Format::Json => {
+            let diags: Vec<String> = report.active.iter().map(|d| d.render_json()).collect();
+            let unused: Vec<String> = report
+                .unused_baseline
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{{\"rule\":\"{}\",\"file\":\"{}\",\"snippet\":\"{}\"}}",
+                        e.rule.id(),
+                        adas_lint::diag::json_escape(&e.file),
+                        adas_lint::diag::json_escape(&e.snippet)
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"version\":1,\"diagnostics\":[{}],\"unused_baseline\":[{}],\"summary\":{{\"files_scanned\":{},\"active\":{},\"baselined\":{},\"suppressed\":{}}}}}",
+                diags.join(","),
+                unused.join(","),
+                report.files_scanned,
+                report.active.len(),
+                report.baselined,
+                report.suppressed,
+            );
+        }
+        Format::Human => {
+            for d in &report.active {
+                println!("{}", d.render_human());
+            }
+            for e in &report.unused_baseline {
+                println!(
+                    "note: stale baseline entry (site was fixed — remove it): {} {} `{}`",
+                    e.rule.id(),
+                    e.file,
+                    e.snippet
+                );
+            }
+            println!(
+                "adas-lint: {} files scanned, {} active finding(s), {} baselined, {} suppressed",
+                report.files_scanned,
+                report.active.len(),
+                report.baselined,
+                report.suppressed,
+            );
+        }
+    }
+
+    if report.active.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,147 @@
+//! The scoping matrix: which crates and file kinds each rule covers.
+
+/// What a `.rs` file is for, derived from its workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source under `src/`.
+    Lib,
+    /// Binary source under `src/bin/`.
+    Bin,
+    /// Integration test under `tests/`.
+    Test,
+    /// Benchmark under `benches/`.
+    Bench,
+    /// Example under `examples/`.
+    Example,
+}
+
+/// A classified workspace file.
+#[derive(Debug, Clone)]
+pub struct FileInfo {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Owning crate (directory name under `crates/`, or the root package).
+    pub crate_name: String,
+    /// Role of the file.
+    pub kind: FileKind,
+}
+
+/// Name used for files belonging to the root package.
+pub const ROOT_CRATE: &str = "adas-attack-repro";
+
+/// Crates whose public APIs R1 holds to `units::` newtypes.
+pub const R1_CRATES: [&str; 4] = ["openadas", "driving-sim", "canbus", "driver-model"];
+
+/// Safety-path crates R2 holds panic-free: everything between the sensor
+/// models and the actuator bus.
+pub const R2_CRATES: [&str; 6] = [
+    "openadas",
+    "canbus",
+    "driving-sim",
+    "driver-model",
+    "units",
+    "msgbus",
+];
+
+/// Modules allowed to write actuator command fields (R3): the safety
+/// clamp, the command encoder, and the attack engine's designated
+/// mutation points.
+pub const R3_ALLOWED_PATHS: [&str; 4] = [
+    "crates/openadas/src/safety.rs",
+    "crates/openadas/src/controls.rs",
+    "crates/core/src/corruption.rs",
+    "crates/core/src/injector.rs",
+];
+
+/// Crates exempt from R5: the bench harness measures wall-clock time by
+/// design, and the lint itself is tooling outside the simulation.
+pub const R5_EXEMPT_CRATES: [&str; 2] = ["bench", "lint"];
+
+/// Classifies a workspace-relative path.
+pub fn classify(rel: &str) -> FileInfo {
+    let rel = rel.replace('\\', "/");
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or(ROOT_CRATE)
+        .to_string();
+    let kind = if rel.contains("/tests/") || rel.starts_with("tests/") {
+        FileKind::Test
+    } else if rel.contains("/benches/") || rel.starts_with("benches/") {
+        FileKind::Bench
+    } else if rel.contains("/examples/") || rel.starts_with("examples/") {
+        FileKind::Example
+    } else if rel.contains("/src/bin/") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    };
+    FileInfo {
+        rel,
+        crate_name,
+        kind,
+    }
+}
+
+/// R1 covers library code of the unit-bearing crates.
+pub fn r1_applies(info: &FileInfo) -> bool {
+    info.kind == FileKind::Lib && R1_CRATES.contains(&info.crate_name.as_str())
+}
+
+/// R2 covers library code of the safety-path crates.
+pub fn r2_applies(info: &FileInfo) -> bool {
+    info.kind == FileKind::Lib && R2_CRATES.contains(&info.crate_name.as_str())
+}
+
+/// R3 covers all non-test code except the designated mutation points.
+pub fn r3_applies(info: &FileInfo) -> bool {
+    matches!(info.kind, FileKind::Lib | FileKind::Bin | FileKind::Example)
+        && !R3_ALLOWED_PATHS.contains(&info.rel.as_str())
+}
+
+/// R4 covers all non-test, non-bench code.
+pub fn r4_applies(info: &FileInfo) -> bool {
+    matches!(info.kind, FileKind::Lib | FileKind::Bin | FileKind::Example)
+}
+
+/// R5 covers everything but the bench harness and the lint tooling.
+pub fn r5_applies(info: &FileInfo) -> bool {
+    matches!(info.kind, FileKind::Lib | FileKind::Bin | FileKind::Example)
+        && !R5_EXEMPT_CRATES.contains(&info.crate_name.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let f = classify("crates/openadas/src/adas.rs");
+        assert_eq!(f.crate_name, "openadas");
+        assert_eq!(f.kind, FileKind::Lib);
+
+        let f = classify("crates/canbus/tests/properties.rs");
+        assert_eq!(f.kind, FileKind::Test);
+
+        let f = classify("crates/platform/src/bin/trace.rs");
+        assert_eq!(f.kind, FileKind::Bin);
+
+        let f = classify("src/lib.rs");
+        assert_eq!(f.crate_name, ROOT_CRATE);
+        assert_eq!(f.kind, FileKind::Lib);
+
+        let f = classify("examples/quickstart.rs");
+        assert_eq!(f.kind, FileKind::Example);
+    }
+
+    #[test]
+    fn scope_matrix() {
+        assert!(r2_applies(&classify("crates/openadas/src/acc.rs")));
+        assert!(!r2_applies(&classify("crates/platform/src/harness.rs")));
+        assert!(!r2_applies(&classify("crates/openadas/tests/properties.rs")));
+        assert!(!r3_applies(&classify("crates/core/src/corruption.rs")));
+        assert!(r3_applies(&classify("crates/core/src/engine.rs")));
+        assert!(!r5_applies(&classify("crates/bench/benches/micro.rs")));
+        assert!(r5_applies(&classify("crates/driving-sim/src/world.rs")));
+    }
+}

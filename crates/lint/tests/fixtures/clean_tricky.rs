@@ -1,0 +1,56 @@
+//! Golden fixture: every violation-looking token here is inside a comment,
+//! string, raw string, char literal, or test module — a correct scan finds
+//! NOTHING. Each construct is a regression trap for the masking tokenizer.
+//! Like its sibling, this file is scanned as `crates/openadas/src/fixture.rs`
+//! and never compiled.
+
+// A doc comment mentioning .unwrap() and panic!("boom") must not fire R2.
+
+/// Returns the label. Comparing `a == 0.0` here is prose, not code (R4 trap);
+/// so is `std::time::Instant::now()` (R5 trap) and `self.steer_cmd = 1.0`
+/// (R3 trap) and `pub fn speed(v: f64)` (R1 trap).
+fn label() -> &'static str {
+    "call .unwrap() or panic!(\"boom\") — it's fine inside a string"
+}
+
+fn raw_multiline() -> &'static str {
+    r#"first line
+    frames[i] and .expect("x") and a == 0.0 and thread_rng()
+    last line"#
+}
+
+fn raw_with_hashes() -> &'static str {
+    r##"contains "# inside, plus self.accel_cmd = 9.0 and SystemTime"##
+}
+
+fn byte_string() -> &'static [u8] {
+    b".unwrap() as bytes, x != 1.5 too"
+}
+
+/* Block comment with std::time::SystemTime and .unwrap()
+   spanning /* a nested block */ multiple lines with frames[i]. */
+fn after_block() -> u8 {
+    0
+}
+
+fn char_literals() -> (char, char, char) {
+    // The quote and backslash literals must not open a string that would
+    // swallow the rest of the file.
+    ('"', '\'', '\\')
+}
+
+fn lifetime_not_char(s: &'static str) -> &'static str {
+    // `'static` is a lifetime, not an unterminated char literal.
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let x = [1u8, 2];
+        assert_eq!(x[0], 1);
+    }
+}

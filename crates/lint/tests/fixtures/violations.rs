@@ -1,0 +1,49 @@
+//! Golden fixture: deliberately violating code, scanned as if it lived at
+//! `crates/openadas/src/fixture.rs`. Expected findings (rule + 1-based
+//! line) live in `violations.expected`; the `fixtures` integration test
+//! compares them exactly. This file is never compiled — the `fixtures`
+//! directory is excluded from both the cargo build and the workspace scan.
+
+// R1: raw f64 crossing a public API boundary of a safety-path crate.
+pub fn set_target_speed(&mut self, speed: f64) {
+    self.target = speed;
+}
+
+// R2: unwrap in non-test library code.
+fn first_frame(frames: &[u8]) -> u8 {
+    frames.first().copied().unwrap()
+}
+
+// R2: indexing with a computed subscript.
+fn nth_frame(frames: &[u8], i: usize) -> u8 {
+    frames[i]
+}
+
+// R3: actuator command write outside the safety/controls modules.
+fn hijack(&mut self) {
+    self.cmd.steer_cmd = 400.0;
+}
+
+// R4: strict float equality on the safety path.
+fn is_stopped(v: f64) -> bool {
+    v == 0.0
+}
+
+// R5: wall-clock time instead of the simulation tick.
+fn stamp() -> u128 {
+    std::time::SystemTime::now().elapsed().unwrap().as_millis()
+}
+
+// Suppressed: the allow comment acknowledges the unwrap with a reason.
+fn acknowledged(v: Option<u8>) -> u8 {
+    // adas-lint: allow(R2, reason = "fixture demonstrates suppression")
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: test code may panic freely.
+    fn in_tests(v: Option<u8>) -> u8 {
+        v.unwrap()
+    }
+}

@@ -88,7 +88,9 @@ impl Bus {
             log.record(env.clone());
         }
         let topic = env.topic();
-        inner.published_by_topic[topic.index()] += 1;
+        if let Some(count) = inner.published_by_topic.get_mut(topic.index()) {
+            *count += 1;
+        }
         for sub in &inner.subs {
             if sub.topics.contains(&topic) {
                 let mut q = sub.queue.lock();

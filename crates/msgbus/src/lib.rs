@@ -37,6 +37,9 @@
 //! assert_eq!(messages[0].topic(), Topic::GpsLocationExternal);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(clippy::float_cmp)]
+
 #![warn(missing_docs)]
 
 mod bus;

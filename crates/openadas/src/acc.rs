@@ -110,6 +110,7 @@ impl AccController {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable values
 mod tests {
     use super::*;
     use units::Angle;

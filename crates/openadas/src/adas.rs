@@ -145,8 +145,10 @@ impl Adas {
             }),
         );
 
+        // Fail safe: if a command somehow escapes its clamp, send no frames
+        // at all (actuators hold/coast) rather than panicking mid-drive.
         let frames = if engaged {
-            self.encoder.encode(&control).expect("commands are clamped in range")
+            self.encoder.encode(&control).unwrap_or_default()
         } else {
             Vec::new()
         };

@@ -76,15 +76,17 @@ impl CommandEncoder {
         for frame in frames {
             if frame.id() == self.dbc.steering_control().id {
                 if let Ok(map) = decode(self.dbc.steering_control(), frame) {
-                    out.steer = Angle::from_degrees(map["STEER_ANGLE_CMD"]);
+                    if let Some(deg) = map.get("STEER_ANGLE_CMD") {
+                        out.steer = Angle::from_degrees(*deg);
+                    }
                 }
             } else if frame.id() == self.dbc.gas_command().id {
                 if let Ok(map) = decode(self.dbc.gas_command(), frame) {
-                    gas = Some(map["ACCEL_CMD"]);
+                    gas = map.get("ACCEL_CMD").copied();
                 }
             } else if frame.id() == self.dbc.brake_command().id {
                 if let Ok(map) = decode(self.dbc.brake_command(), frame) {
-                    brake = Some(map["BRAKE_CMD"]);
+                    brake = map.get("BRAKE_CMD").copied();
                 }
             }
         }
@@ -96,6 +98,7 @@ impl CommandEncoder {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable values
 mod tests {
     use super::*;
 

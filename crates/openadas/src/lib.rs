@@ -21,6 +21,9 @@
 //! messages per 10 ms tick and emits a [`msgbus::schema::CarControl`] plus
 //! the corresponding CAN frames.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::float_cmp)]
+
 #![warn(missing_docs)]
 
 mod acc;

@@ -95,7 +95,12 @@ impl PandaSafety {
                 Ok(m) => m,
                 Err(e) => return PandaVerdict::Blocked(format!("steering frame: {e}")),
             };
-            let steer = Angle::from_degrees(map["STEER_ANGLE_CMD"]);
+            // Fail closed: a decoded steering frame without its command
+            // signal is malformed traffic, not a pass.
+            let Some(&deg) = map.get("STEER_ANGLE_CMD") else {
+                return PandaVerdict::Blocked("steering frame: missing STEER_ANGLE_CMD".into());
+            };
+            let steer = Angle::from_degrees(deg);
             let jump = (steer - self.last_steer).abs();
             if jump > self.limits.steer_max {
                 return PandaVerdict::Blocked(format!(
@@ -110,7 +115,10 @@ impl PandaSafety {
                 Ok(m) => m,
                 Err(e) => return PandaVerdict::Blocked(format!("gas frame: {e}")),
             };
-            let accel = Accel::from_mps2(map["ACCEL_CMD"]);
+            let Some(&mps2) = map.get("ACCEL_CMD") else {
+                return PandaVerdict::Blocked("gas frame: missing ACCEL_CMD".into());
+            };
+            let accel = Accel::from_mps2(mps2);
             if accel > self.limits.accel_max {
                 return PandaVerdict::Blocked(format!(
                     "accel {} exceeds {}",
@@ -122,7 +130,10 @@ impl PandaSafety {
                 Ok(m) => m,
                 Err(e) => return PandaVerdict::Blocked(format!("brake frame: {e}")),
             };
-            let brake = Accel::from_mps2(map["BRAKE_CMD"]);
+            let Some(&mps2) = map.get("BRAKE_CMD") else {
+                return PandaVerdict::Blocked("brake frame: missing BRAKE_CMD".into());
+            };
+            let brake = Accel::from_mps2(mps2);
             if brake < self.limits.brake_min {
                 return PandaVerdict::Blocked(format!(
                     "brake {} exceeds {}",

@@ -102,6 +102,7 @@ impl LaneProcessor {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable values
 mod tests {
     use super::*;
 

@@ -25,6 +25,9 @@
 //! assert!(harness.result_so_far().first_hazard.is_none());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(clippy::float_cmp)]
+
 #![warn(missing_docs)]
 
 pub mod experiment;

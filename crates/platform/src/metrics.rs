@@ -223,8 +223,8 @@ mod tests {
     #[test]
     fn mean_std_basics() {
         let ms = mean_std(&[2.0, 4.0]);
-        assert_eq!(ms.mean, 3.0);
-        assert_eq!(ms.std, 1.0);
+        assert!((ms.mean - 3.0).abs() < 1e-12);
+        assert!((ms.std - 1.0).abs() < 1e-12);
         assert_eq!(ms.n, 2);
         assert_eq!(mean_std(&[]), MeanStd::default());
     }

@@ -61,8 +61,10 @@ impl Histogram {
     /// Panics if the two histograms have different ranges or bin counts.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.bins.len(), other.bins.len(), "bin counts must match");
+        // Bitwise identity: merging only makes sense for histograms built
+        // with the same constructor parameters, not merely close ones.
         assert!(
-            self.lo == other.lo && self.hi == other.hi,
+            self.lo.to_bits() == other.lo.to_bits() && self.hi.to_bits() == other.hi.to_bits(),
             "histogram ranges must match"
         );
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {

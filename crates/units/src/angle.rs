@@ -88,6 +88,7 @@ impl Angle {
     /// Returns the sign of the angle (`-1.0`, `0.0` or `1.0`).
     #[inline]
     pub fn signum(self) -> f64 {
+        // adas-lint: allow(R4, reason = "exact-zero check is the documented contract of signum")
         if self.0 == 0.0 { 0.0 } else { self.0.signum() }
     }
 
@@ -171,6 +172,7 @@ impl Div<f64> for Angle {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable values
 mod tests {
     use super::*;
 

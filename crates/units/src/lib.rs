@@ -23,6 +23,9 @@
 //! assert_eq!(DT.secs(), 0.01);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(clippy::float_cmp)]
+
 #![warn(missing_docs)]
 
 mod angle;

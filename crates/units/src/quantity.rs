@@ -62,6 +62,7 @@ macro_rules! quantity {
             /// Returns the sign of the quantity (`-1.0`, `0.0` or `1.0`).
             #[inline]
             pub fn signum(self) -> f64 {
+                // adas-lint: allow(R4, reason = "exact-zero check is the documented contract of signum")
                 if self.0 == 0.0 { 0.0 } else { self.0.signum() }
             }
         }
@@ -268,6 +269,7 @@ impl Div<Seconds> for Speed {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable values
 mod tests {
     use super::*;
 

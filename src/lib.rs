@@ -4,6 +4,9 @@
 //! and cross-crate integration tests. The substance lives in the member
 //! crates; the most useful entry points are re-exported here.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::float_cmp)]
+
 pub use attack_core;
 pub use canbus;
 pub use driver_model;
