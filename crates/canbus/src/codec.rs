@@ -123,6 +123,34 @@ pub fn decode_unchecked(spec: &MessageSpec, frame: &CanFrame) -> BTreeMap<&'stat
         .collect()
 }
 
+/// Decodes one named signal of a frame, verifying its checksum first.
+///
+/// Allocation-free alternative to [`decode`] for receivers that want a
+/// single signal on a hot path (the actuator-side decoder runs this every
+/// 10 ms control cycle).
+///
+/// # Errors
+///
+/// Returns [`CanError::IdMismatch`], [`CanError::ChecksumMismatch`] or
+/// [`CanError::UnknownSignal`] under the corresponding conditions.
+// adas-lint: allow(R1, reason = "DBC physical values are unit-erased by definition; units attach at the schema layer")
+pub fn decode_signal(spec: &MessageSpec, frame: &CanFrame, name: &str) -> Result<f64, CanError> {
+    if frame.id() != spec.id {
+        return Err(CanError::IdMismatch {
+            expected: spec.id,
+            actual: frame.id(),
+        });
+    }
+    if spec.checksum_signal.is_some() && !verify_honda_checksum(spec.id, frame.data()) {
+        let found = frame.data().last().map_or(0, |b| b & 0xF);
+        let computed = crate::checksum::honda_checksum(spec.id, frame.data());
+        return Err(CanError::ChecksumMismatch { found, computed });
+    }
+    let signal = spec.require_signal(name)?;
+    let data = frame_data(frame);
+    Ok(signal.raw_to_phys(signal.extract_raw(&data)))
+}
+
 /// Rewrites one signal of an existing frame in place, preserving every other
 /// bit (including the rolling counter) and recomputing the checksum — the
 /// man-in-the-middle operation of the paper's Fig. 4.

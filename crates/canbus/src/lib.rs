@@ -53,7 +53,7 @@ mod frame;
 mod signal;
 
 pub use bus::{BusStats, CanBus, Capture, Interceptor};
-pub use codec::{decode, decode_unchecked, rewrite_signal, Encoder};
+pub use codec::{decode, decode_signal, decode_unchecked, rewrite_signal, Encoder};
 pub use dbc::VirtualCarDbc;
 pub use error::CanError;
 pub use frame::CanFrame;

@@ -86,6 +86,23 @@ impl AttackType {
         }
     }
 
+    /// The type's position in [`AttackType::ALL`] — the paper's table order.
+    ///
+    /// Infallible by construction (a `match`, not a scan), so it cannot
+    /// alias an unmapped type to 0 the way a fallback-on-`position()` did;
+    /// adding a variant without extending this is a compile error. Campaign
+    /// seed derivation depends on these exact values staying stable.
+    pub const fn index(self) -> usize {
+        match self {
+            AttackType::Acceleration => 0,
+            AttackType::Deceleration => 1,
+            AttackType::SteeringLeft => 2,
+            AttackType::SteeringRight => 3,
+            AttackType::AccelerationSteering => 4,
+            AttackType::DecelerationSteering => 5,
+        }
+    }
+
     /// Display label matching the paper's tables.
     pub fn label(self) -> &'static str {
         match self {
@@ -140,6 +157,13 @@ mod tests {
                 "Deceleration-Steering"
             ]
         );
+    }
+
+    #[test]
+    fn index_matches_position_in_all() {
+        for (i, t) in AttackType::ALL.into_iter().enumerate() {
+            assert_eq!(t.index(), i, "{t:?}");
+        }
     }
 
     #[test]

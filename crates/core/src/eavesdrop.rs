@@ -5,7 +5,7 @@
 //! attack needs and exposes the latest sample of each.
 
 use msgbus::schema::{CarState, GpsLocation, LaneModel, RadarState};
-use msgbus::{Bus, Payload, Subscriber, Topic};
+use msgbus::{Bus, Envelope, Payload, Subscriber, Topic};
 
 /// The latest samples drained in one tick (fields are `None` when no new
 /// message arrived on that stream).
@@ -26,6 +26,9 @@ pub struct Observations {
 pub struct Eavesdropper {
     sub: Subscriber,
     messages_seen: u64,
+    /// Drain scratch, reused every tick so steady-state taps stay
+    /// allocation-free.
+    scratch: Vec<Envelope>,
 }
 
 impl Eavesdropper {
@@ -39,6 +42,7 @@ impl Eavesdropper {
                 Topic::CarState,
             ]),
             messages_seen: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -50,7 +54,8 @@ impl Eavesdropper {
     /// Drains queued traffic, keeping the newest sample per stream.
     pub fn drain(&mut self) -> Observations {
         let mut obs = Observations::default();
-        for env in self.sub.drain() {
+        self.sub.drain_into(&mut self.scratch);
+        for env in self.scratch.drain(..) {
             self.messages_seen += 1;
             match env.into_payload() {
                 Payload::GpsLocationExternal(g) => obs.gps = Some(g),

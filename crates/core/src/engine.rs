@@ -165,6 +165,14 @@ impl AttackEngine {
         }
     }
 
+    /// In-place variant of [`process_frames`](Self::process_frames): rewrites
+    /// the frames where they sit instead of consuming and reallocating the
+    /// batch — the harness hot path calls this once per tick.
+    pub fn process_frames_in_place(&mut self, _tick: Tick, frames: &mut [CanFrame]) {
+        if self.active {
+            self.injector.apply_in_place(frames, &self.values);
+        }
+    }
 }
 
 /// The lane edge the car is currently closer to.

@@ -64,6 +64,14 @@ impl Injector {
     pub fn apply_all(&mut self, frames: Vec<CanFrame>, values: &AttackValues) -> Vec<CanFrame> {
         frames.into_iter().map(|f| self.apply(f, values)).collect()
     }
+
+    /// In-place variant of [`apply_all`](Self::apply_all): rewrites targeted
+    /// frames where they sit, allocating nothing ([`CanFrame`] is `Copy`).
+    pub fn apply_in_place(&mut self, frames: &mut [CanFrame], values: &AttackValues) {
+        for frame in frames {
+            *frame = self.apply(*frame, values);
+        }
+    }
 }
 
 #[cfg(test)]

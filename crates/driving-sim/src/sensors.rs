@@ -14,8 +14,11 @@ use units::{Accel, Distance, Speed, Tick, DT};
 use crate::noise::{gaussian, OrnsteinUhlenbeck};
 use crate::World;
 
-/// Radar detection range.
-const RADAR_RANGE: Distance = Distance::meters(150.0);
+/// Radar detection range — and, by construction, the lead-visibility window
+/// shared by every consumer of the perception stack: the sensor suite drops
+/// leads beyond it, the driver model ignores them, and the hazard detector
+/// and flight recorder treat them as "no lead". One constant, one truth.
+pub const RADAR_RANGE: Distance = Distance::meters(150.0);
 
 /// One synchronized reading of all sensors.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -3,7 +3,7 @@
 
 use canbus::CanFrame;
 use msgbus::schema::{AlertKind, CarControl, ControlsState};
-use msgbus::{Bus, Payload, Subscriber, Topic};
+use msgbus::{Bus, Envelope, Payload, Subscriber, Topic};
 use units::{Accel, Speed, Tick};
 
 use crate::acc::AccOutput;
@@ -30,6 +30,26 @@ pub struct AdasOutput {
     pub alc: AlcOutput,
 }
 
+impl Default for AdasOutput {
+    fn default() -> Self {
+        Self {
+            control: CarControl::default(),
+            frames: Vec::new(),
+            new_alerts: Vec::new(),
+            engaged: false,
+            acc: AccOutput {
+                desired: Accel::ZERO,
+                command: Accel::ZERO,
+            },
+            alc: AlcOutput {
+                desired: units::Angle::ZERO,
+                command: units::Angle::ZERO,
+                saturated: false,
+            },
+        }
+    }
+}
+
 /// The OpenPilot-style ADAS process.
 ///
 /// Subscribes to the sensor topics on construction, consumes the latest
@@ -50,6 +70,9 @@ pub struct Adas {
     alerts: AlertManager,
     encoder: CommandEncoder,
     last_control: CarControl,
+    /// Drain scratch, reused every cycle so steady-state ticks stay
+    /// allocation-free.
+    scratch: Vec<Envelope>,
 }
 
 impl Adas {
@@ -69,6 +92,7 @@ impl Adas {
             alerts: AlertManager::new(),
             encoder: CommandEncoder::new(),
             last_control: CarControl::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -97,18 +121,31 @@ impl Adas {
     /// computes ACC + ALC, raises alerts, publishes state and returns the
     /// actuator frames.
     pub fn step(&mut self, tick: Tick) -> AdasOutput {
+        let mut out = AdasOutput::default();
+        self.step_into(tick, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`step`](Self::step): overwrites `out`,
+    /// reusing its `frames` and `new_alerts` buffers. A caller that hands the
+    /// same [`AdasOutput`] back every cycle pays for the buffers once and
+    /// then runs the whole control loop without touching the heap.
+    pub fn step_into(&mut self, tick: Tick, out: &mut AdasOutput) {
         // Latest-sample-wins, like a real 100 Hz control loop.
-        for env in self.gps_sub.drain() {
+        self.gps_sub.drain_into(&mut self.scratch);
+        for env in &self.scratch {
             if let Payload::GpsLocationExternal(gps) = env.payload() {
                 self.state.update(gps, self.last_control.steer);
             }
         }
-        for env in self.model_sub.drain() {
+        self.model_sub.drain_into(&mut self.scratch);
+        for env in &self.scratch {
             if let Payload::ModelV2(model) = env.payload() {
                 self.lanes.update(model);
             }
         }
-        for env in self.radar_sub.drain() {
+        self.radar_sub.drain_into(&mut self.scratch);
+        for env in &self.scratch {
             if let Payload::RadarState(radar) = env.payload() {
                 self.leads.update(radar);
             }
@@ -132,35 +169,31 @@ impl Adas {
         self.last_control = control;
 
         let brake = control.accel.min(Accel::ZERO);
-        let new_alerts = self.alerts.step(engaged && alc_out.saturated, brake);
+        self.alerts
+            .step_into(engaged && alc_out.saturated, brake, &mut out.new_alerts);
 
-        // Publish the internal state the attacker can observe.
+        // Publish the internal state the attacker can observe. Cloning an
+        // empty alert list is allocation-free, and alert ticks are rare.
         self.bus.publish(tick, Payload::CarState(car));
         self.bus.publish(tick, Payload::CarControl(control));
         self.bus.publish(
             tick,
             Payload::ControlsState(ControlsState {
                 engaged,
-                alerts: new_alerts.clone(),
+                alerts: out.new_alerts.clone(),
             }),
         );
 
         // Fail safe: if a command somehow escapes its clamp, send no frames
         // at all (actuators hold/coast) rather than panicking mid-drive.
-        let frames = if engaged {
-            self.encoder.encode(&control).unwrap_or_default()
-        } else {
-            Vec::new()
-        };
-
-        AdasOutput {
-            control,
-            frames,
-            new_alerts,
-            engaged,
-            acc: acc_out,
-            alc: alc_out,
+        if !engaged || self.encoder.encode_into(&control, &mut out.frames).is_err() {
+            out.frames.clear();
         }
+
+        out.control = control;
+        out.engaged = engaged;
+        out.acc = acc_out;
+        out.alc = alc_out;
     }
 }
 

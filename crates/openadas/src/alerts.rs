@@ -47,6 +47,20 @@ impl AlertManager {
     /// cycle (edge-triggered).
     pub fn step(&mut self, steer_saturated: bool, brake_command: Accel) -> Vec<AlertKind> {
         let mut raised = Vec::new();
+        self.step_into(steer_saturated, brake_command, &mut raised);
+        raised
+    }
+
+    /// Allocation-free variant of [`step`](Self::step): clears `raised` and
+    /// appends this cycle's newly raised alerts, reusing the buffer's
+    /// capacity across control cycles.
+    pub fn step_into(
+        &mut self,
+        steer_saturated: bool,
+        brake_command: Accel,
+        raised: &mut Vec<AlertKind>,
+    ) {
+        raised.clear();
 
         if steer_saturated {
             self.saturation_streak += 1;
@@ -65,8 +79,6 @@ impl AlertManager {
             self.total_events += 1;
             raised.push(AlertKind::ForwardCollisionWarning);
         }
-
-        raised
     }
 }
 

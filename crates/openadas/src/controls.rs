@@ -4,7 +4,7 @@
 //! the paper argues should host robust safety checks, because everything
 //! upstream can be bypassed by corrupting the frames here.
 
-use canbus::{decode, CanError, CanFrame, Encoder, VirtualCarDbc};
+use canbus::{decode_signal, CanError, CanFrame, Encoder, VirtualCarDbc};
 use msgbus::schema::CarControl;
 use units::{Accel, Angle};
 
@@ -44,25 +44,43 @@ impl CommandEncoder {
     /// Returns [`CanError::ValueOutOfRange`] if a command exceeds its
     /// signal's representable range (clamp upstream).
     pub fn encode(&mut self, control: &CarControl) -> Result<Vec<CanFrame>, CanError> {
+        let mut frames = Vec::with_capacity(3);
+        self.encode_into(control, &mut frames)?;
+        Ok(frames)
+    }
+
+    /// Allocation-free variant of [`encode`](Self::encode): clears `frames`
+    /// and appends the three actuator frames, reusing the buffer's capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::ValueOutOfRange`] if a command exceeds its
+    /// signal's representable range (clamp upstream). On error `frames` may
+    /// hold a partial batch; callers should treat it as garbage.
+    pub fn encode_into(
+        &mut self,
+        control: &CarControl,
+        frames: &mut Vec<CanFrame>,
+    ) -> Result<(), CanError> {
+        frames.clear();
         let gas = control.accel.max(Accel::ZERO);
         let brake = control.accel.min(Accel::ZERO);
-        Ok(vec![
-            self.encoder.encode(
-                self.dbc.steering_control(),
-                &[
-                    ("STEER_ANGLE_CMD", control.steer.degrees()),
-                    ("STEER_REQ", 1.0),
-                ],
-            )?,
-            self.encoder.encode(
-                self.dbc.gas_command(),
-                &[("ACCEL_CMD", gas.mps2()), ("GAS_REQ", 1.0)],
-            )?,
-            self.encoder.encode(
-                self.dbc.brake_command(),
-                &[("BRAKE_CMD", brake.mps2()), ("BRAKE_REQ", 1.0)],
-            )?,
-        ])
+        frames.push(self.encoder.encode(
+            self.dbc.steering_control(),
+            &[
+                ("STEER_ANGLE_CMD", control.steer.degrees()),
+                ("STEER_REQ", 1.0),
+            ],
+        )?);
+        frames.push(self.encoder.encode(
+            self.dbc.gas_command(),
+            &[("ACCEL_CMD", gas.mps2()), ("GAS_REQ", 1.0)],
+        )?);
+        frames.push(self.encoder.encode(
+            self.dbc.brake_command(),
+            &[("BRAKE_CMD", brake.mps2()), ("BRAKE_REQ", 1.0)],
+        )?);
+        Ok(())
     }
 
     /// Actuator-side decoding: folds a batch of delivered frames back into a
@@ -75,18 +93,17 @@ impl CommandEncoder {
         let mut brake = None;
         for frame in frames {
             if frame.id() == self.dbc.steering_control().id {
-                if let Ok(map) = decode(self.dbc.steering_control(), frame) {
-                    if let Some(deg) = map.get("STEER_ANGLE_CMD") {
-                        out.steer = Angle::from_degrees(*deg);
-                    }
+                if let Ok(deg) = decode_signal(self.dbc.steering_control(), frame, "STEER_ANGLE_CMD")
+                {
+                    out.steer = Angle::from_degrees(deg);
                 }
             } else if frame.id() == self.dbc.gas_command().id {
-                if let Ok(map) = decode(self.dbc.gas_command(), frame) {
-                    gas = map.get("ACCEL_CMD").copied();
+                if let Ok(v) = decode_signal(self.dbc.gas_command(), frame, "ACCEL_CMD") {
+                    gas = Some(v);
                 }
             } else if frame.id() == self.dbc.brake_command().id {
-                if let Ok(map) = decode(self.dbc.brake_command(), frame) {
-                    brake = map.get("BRAKE_CMD").copied();
+                if let Ok(v) = decode_signal(self.dbc.brake_command(), frame, "BRAKE_CMD") {
+                    brake = Some(v);
                 }
             }
         }
@@ -101,6 +118,7 @@ impl CommandEncoder {
 #[allow(clippy::float_cmp)] // tests assert exactly-representable values
 mod tests {
     use super::*;
+    use canbus::decode;
 
     fn control(accel: f64, steer_deg: f64) -> CarControl {
         CarControl {

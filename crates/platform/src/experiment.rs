@@ -125,7 +125,7 @@ pub fn plan_attack_campaign(cfg: &CampaignConfig, attack_type: AttackType) -> Ve
             for draw in 0..cfg.draws {
                 let seed = mix_seed(
                     cfg.base_seed,
-                    &[si as u64, rep as u64, draw as u64, attack_kind_id(attack_type)],
+                    &[si as u64, rep as u64, draw as u64, attack_type.index() as u64],
                 );
                 specs.push(RunSpec {
                     attack: Some(AttackConfig {
@@ -165,49 +165,121 @@ pub fn plan_no_attack_campaign(reps: u32, base_seed: u64, driver: DriverConfig) 
     specs
 }
 
-fn attack_kind_id(t: AttackType) -> u64 {
-    AttackType::ALL.iter().position(|&x| x == t).unwrap_or(0) as u64
+/// Worker-pool configuration for the campaign runners.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Worker thread count. `None` resolves from the `REPRO_WORKERS`
+    /// environment variable if set (and ≥ 1), else all available cores.
+    pub workers: Option<usize>,
 }
 
-/// Maps `f` over `0..n` in parallel across all cores, preserving order.
+impl RunnerConfig {
+    /// A runner with an explicit worker count (`0` is clamped to `1`).
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: Some(workers.max(1)),
+        }
+    }
+
+    /// The worker count to use for a job of `n` items: the explicit setting,
+    /// else `REPRO_WORKERS`, else every available core — never more than
+    /// `n` and never less than one.
+    pub fn worker_count(&self, n: usize) -> usize {
+        let configured = self
+            .workers
+            .or_else(|| {
+                std::env::var("REPRO_WORKERS")
+                    .ok()
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+                    .filter(|&w| w >= 1)
+            })
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(4)
+            });
+        configured.max(1).min(n.max(1))
+    }
+}
+
+/// Maps `f` over `0..n` in parallel, preserving order.
 ///
 /// This is the single work-stealing loop every campaign runner shares; the
-/// traced and untraced variants differ only in the closure they pass.
+/// traced and untraced variants differ only in the closure they pass. The
+/// worker count comes from [`RunnerConfig::default`] (i.e. `REPRO_WORKERS`
+/// or all cores); use [`run_parallel_map_with`] to pin it.
 pub fn run_parallel_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(n.max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<T>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    run_parallel_map_with(RunnerConfig::default(), n, f)
+}
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                *results[i].lock().expect("no poisoning") = Some(f(i));
-            });
-        }
+/// [`run_parallel_map`] with an explicit [`RunnerConfig`].
+///
+/// Each worker accumulates `(index, result)` pairs in a thread-local batch
+/// that is merged once at join — no per-item `Mutex`, no per-item
+/// allocation, and a single-worker job degenerates to a plain serial loop
+/// on the calling thread.
+pub fn run_parallel_map_with<T, F>(cfg: RunnerConfig, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = cfg.worker_count(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let batches: Vec<Vec<(usize, T)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut batch: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        batch.push((i, f(i)));
+                    }
+                    batch
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("worker panicked");
 
-    results
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for batch in batches {
+        for (i, value) in batch {
+            slots[i] = Some(value);
+        }
+    }
+    slots
         .into_iter()
-        .map(|m| m.into_inner().expect("no poisoning").expect("all ran"))
+        .map(|s| s.expect("every index was claimed by exactly one worker"))
         .collect()
 }
 
 /// Runs a work list in parallel across all cores, preserving order.
 pub fn run_parallel(specs: &[RunSpec]) -> Vec<SimResult> {
     run_parallel_map(specs.len(), |i| specs[i].run())
+}
+
+/// [`run_parallel`] with an explicit [`RunnerConfig`].
+pub fn run_parallel_with(cfg: RunnerConfig, specs: &[RunSpec]) -> Vec<SimResult> {
+    run_parallel_map_with(cfg, specs.len(), |i| specs[i].run())
 }
 
 /// Runs a work list in parallel with a flight recorder on every run,
@@ -308,5 +380,48 @@ mod tests {
         let specs = plan_no_attack_campaign(2, 7, DriverConfig::alert());
         assert_eq!(specs.len(), 24);
         assert!(specs.iter().all(|s| s.attack.is_none()));
+    }
+
+    #[test]
+    fn parallel_map_empty_job_returns_empty() {
+        let out = run_parallel_map(0, |i| i);
+        assert!(out.is_empty());
+        let out = run_parallel_map_with(RunnerConfig::with_workers(8), 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_with_fewer_items_than_workers() {
+        let out = run_parallel_map_with(RunnerConfig::with_workers(16), 3, |i| i * 10);
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_under_a_slow_first_item() {
+        // Item 0 finishes last; its result must still come back first.
+        let out = run_parallel_map_with(RunnerConfig::with_workers(4), 8, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            i as u64
+        });
+        assert_eq!(out, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn single_worker_equals_serial() {
+        let serial: Vec<usize> = (0..10).map(|i| i * i).collect();
+        let one = run_parallel_map_with(RunnerConfig::with_workers(1), 10, |i| i * i);
+        assert_eq!(one, serial);
+        // An explicit 0 clamps to 1 rather than deadlocking.
+        assert_eq!(RunnerConfig::with_workers(0).worker_count(10), 1);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_the_job() {
+        let cfg = RunnerConfig::with_workers(64);
+        assert_eq!(cfg.worker_count(3), 3);
+        assert_eq!(cfg.worker_count(0), 1);
+        assert_eq!(cfg.worker_count(1000), 64);
     }
 }

@@ -13,7 +13,7 @@
 use attack_core::{AttackConfig, AttackEngine};
 use defense::{ContextMonitor, ContextObservation, ControlInvariantDetector};
 use driver_model::{Driver, DriverConfig, DriverPhase, Observation};
-use driving_sim::{ActuatorCommand, Scenario, SensorSuite, World};
+use driving_sim::{ActuatorCommand, Scenario, SensorSuite, World, RADAR_RANGE};
 use msgbus::schema::CarControl;
 use msgbus::Bus;
 use openadas::{Adas, AdasOutput, CommandEncoder, PandaSafety};
@@ -156,6 +156,9 @@ pub struct Harness {
     alert_events: u64,
     ever_disengaged: bool,
     recorder: Option<TraceRecorder>,
+    /// ADAS output buffers, handed to [`Adas::step_into`] and taken back
+    /// every tick so the steady-state loop never touches the heap.
+    adas_out: AdasOutput,
 }
 
 impl Harness {
@@ -190,6 +193,7 @@ impl Harness {
             alert_events: 0,
             ever_disengaged: false,
             recorder: config.trace.enabled.then(|| TraceRecorder::new(config.trace)),
+            adas_out: AdasOutput::default(),
             config,
         }
     }
@@ -235,21 +239,24 @@ impl Harness {
             att.observe(tick);
         }
 
-        // 3. The ADAS runs its control cycle and emits actuator frames.
-        let mut out = self.adas.step(tick);
+        // 3. The ADAS runs its control cycle and emits actuator frames. The
+        // output buffers are owned by the harness and reused every tick.
+        let mut out = std::mem::take(&mut self.adas_out);
+        self.adas.step_into(tick, &mut out);
         self.alert_events += out.new_alerts.len() as u64;
 
         // 4. Man-in-the-middle: the attack rewrites frames in flight.
-        let mut frames = std::mem::take(&mut out.frames);
         if let Some(att) = self.attacker.as_mut() {
-            frames = att.process_frames(tick, frames);
+            att.process_frames_in_place(tick, &mut out.frames);
         }
 
         // 5. Firmware safety checks (disabled in the paper's setup).
-        frames.retain(|f| self.panda.check(f).passed());
+        out.frames.retain(|f| self.panda.check(f).passed());
 
         // 6. Actuator-side decode; invalid/missing frames hold last values.
-        let cmd = self.actuator_side.decode_actuators(&frames, self.last_cmd);
+        let cmd = self
+            .actuator_side
+            .decode_actuators(&out.frames, self.last_cmd);
         self.last_cmd = cmd;
 
         // 6b. §V defenses observe the boundary: the invariant detector
@@ -289,7 +296,7 @@ impl Harness {
             lane_offset: self.world.ego().d(),
             lead_gap: {
                 let gap = self.world.gap();
-                (gap.raw() > 0.0 && gap.raw() < 150.0).then_some(gap)
+                (gap.raw() > 0.0 && gap < RADAR_RANGE).then_some(gap)
             },
         };
         let driver_cmd = self.driver.step(tick, &obs);
@@ -321,6 +328,9 @@ impl Harness {
 
         // 9. Flight recorder: snapshot the executed cycle (no-op when off).
         self.capture_tick(tick, Some(&out), final_cmd);
+
+        // Hand the output buffers back for the next tick.
+        self.adas_out = out;
         tick
     }
 
@@ -334,9 +344,9 @@ impl Harness {
         let lead = self.world.lead();
         let v = ego.speed().mps();
         let raw_gap = self.world.gap().raw();
-        // Same visibility window the driver model uses: a lead further than
-        // 150 m (or behind) is "no lead".
-        let gap = if raw_gap > 0.0 && raw_gap < 150.0 {
+        // Same visibility window the driver model uses: a lead beyond
+        // [`RADAR_RANGE`] (or behind) is "no lead".
+        let gap = if raw_gap > 0.0 && raw_gap < RADAR_RANGE.raw() {
             raw_gap
         } else {
             f64::NAN

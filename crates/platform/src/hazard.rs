@@ -9,7 +9,7 @@
 //!   following traffic, which the paper's scenarios do not include; like the
 //!   paper's accident counts, ours only contain A1/A3.
 
-use driving_sim::{CollisionKind, World};
+use driving_sim::{CollisionKind, World, RADAR_RANGE};
 use serde::{Deserialize, Serialize};
 use units::{Distance, Seconds, Speed, Tick};
 
@@ -172,7 +172,7 @@ impl HazardDetector {
         let ego = world.ego();
         let v = ego.speed();
         let gap = world.gap();
-        let lead_visible = gap > Distance::ZERO && gap < Distance::meters(150.0);
+        let lead_visible = gap > Distance::ZERO && gap < RADAR_RANGE;
 
         // H1: too close to the lead.
         if self.first_h1.is_none()
