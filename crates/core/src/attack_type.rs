@@ -71,7 +71,7 @@ impl AttackType {
             AttackType::Deceleration | AttackType::DecelerationSteering => {
                 Some(AttackAction::Decelerate)
             }
-            _ => None,
+            AttackType::SteeringLeft | AttackType::SteeringRight => None,
         }
     }
 
@@ -82,7 +82,7 @@ impl AttackType {
             AttackType::SteeringLeft => Some(Some(SteerDirection::Left)),
             AttackType::SteeringRight => Some(Some(SteerDirection::Right)),
             AttackType::AccelerationSteering | AttackType::DecelerationSteering => Some(None),
-            _ => None,
+            AttackType::Acceleration | AttackType::Deceleration => None,
         }
     }
 

@@ -162,7 +162,9 @@ impl CorruptionPolicy {
                 out.brake = Some(brake);
                 self.predictor.predict(brake);
             }
-            _ => {}
+            // Steering corruption carries no longitudinal component; the
+            // steer half is applied below.
+            None | Some(AttackAction::Steer(_)) => {}
         }
 
         if let Some(direction) = steer {

@@ -136,13 +136,18 @@ impl AttackScheduler {
             return false;
         }
         let active = match self.kind {
-            StrategyKind::RandomStDur | StrategyKind::RandomSt => {
-                let dur = self.duration.expect("random strategies have durations");
-                tick >= self.random_start && tick.since(self.random_start) < dur
-            }
-            StrategyKind::RandomDur => match self.started {
-                None => context_active,
-                Some(start) => tick.since(start) < self.duration.expect("drawn"),
+            // Fail closed: a random strategy without a drawn duration is a
+            // construction bug, and the scheduler sits on the per-tick
+            // control path — the attack stays dormant rather than panicking
+            // the loop.
+            StrategyKind::RandomStDur | StrategyKind::RandomSt => match self.duration {
+                Some(dur) => tick >= self.random_start && tick.since(self.random_start) < dur,
+                None => false,
+            },
+            StrategyKind::RandomDur => match (self.started, self.duration) {
+                (None, _) => context_active,
+                (Some(start), Some(dur)) => tick.since(start) < dur,
+                (Some(_), None) => false,
             },
             // One burst per run: the engine launches at the first critical
             // context and runs while it holds; re-arming after the burst

@@ -21,6 +21,7 @@ use units::Seconds;
 /// assert!((brake_curve(Seconds::new(1.2)) - 0.5).abs() < 1e-9);
 /// assert!(brake_curve(Seconds::new(1.5)) > 0.9);
 /// ```
+// adas-lint: allow(R1, reason = "dimensionless brake fraction in [0, 1]")
 pub fn brake_curve(t: Seconds) -> f64 {
     let x = (10.0 * t.secs() - 12.0).exp();
     x / (1.0 + x)

@@ -44,6 +44,7 @@ impl Road {
     /// # Panics
     ///
     /// Panics if the curvature profile is empty or does not start at `s = 0`.
+    // adas-lint: allow(R1, reason = "curvature profile entries are (s in m, kappa in 1/m); units:: has no curvature newtype")
     pub fn new(
         lane_width: Distance,
         curvature_profile: Vec<(f64, f64)>,
@@ -76,6 +77,7 @@ impl Road {
     }
 
     /// Road curvature at longitudinal position `s` (1/m, positive = left).
+    // adas-lint: allow(R1, reason = "curvature in 1/m (positive = left); units:: has no curvature newtype")
     pub fn curvature(&self, s: Distance) -> f64 {
         let s = s.raw();
         self.curvature_profile

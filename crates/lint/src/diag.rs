@@ -22,15 +22,29 @@ pub enum Rule {
     /// R5 — no wall-clock time or entropy-seeded RNG construction outside
     /// the benchmark harness; everything else must stay replayable.
     Determinism,
+    /// R6 — cross-file taint flow: attack values are clamped at birth,
+    /// reach CAN bytes only through the audited `Injector` choke point,
+    /// and the ADAS side never calls back into the attack crate.
+    TaintFlow,
+    /// R7 — transitive panic freedom: no call path from `Harness::step`
+    /// reaches a panicking function, in any crate.
+    TransitivePanic,
+    /// R8 — no wildcard `_ =>` arms when matching the safety-critical
+    /// enums (attack types, alerts, hazards); adding a variant must be a
+    /// compile-time event, not a silently-ignored runtime one.
+    EnumExhaustiveness,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 5] = [
+pub const ALL_RULES: [Rule; 8] = [
     Rule::UnitSafety,
     Rule::PanicFreedom,
     Rule::ActuatorContainment,
     Rule::FloatHygiene,
     Rule::Determinism,
+    Rule::TaintFlow,
+    Rule::TransitivePanic,
+    Rule::EnumExhaustiveness,
 ];
 
 impl Rule {
@@ -42,6 +56,9 @@ impl Rule {
             Rule::ActuatorContainment => "R3",
             Rule::FloatHygiene => "R4",
             Rule::Determinism => "R5",
+            Rule::TaintFlow => "R6",
+            Rule::TransitivePanic => "R7",
+            Rule::EnumExhaustiveness => "R8",
         }
     }
 
@@ -53,6 +70,9 @@ impl Rule {
             Rule::ActuatorContainment => "actuator-containment",
             Rule::FloatHygiene => "float-hygiene",
             Rule::Determinism => "determinism",
+            Rule::TaintFlow => "taint-flow",
+            Rule::TransitivePanic => "transitive-panic",
+            Rule::EnumExhaustiveness => "enum-exhaustiveness",
         }
     }
 
@@ -74,6 +94,15 @@ impl Rule {
             Rule::Determinism => {
                 "no wall-clock time or entropy-seeded RNGs outside the bench harness"
             }
+            Rule::TaintFlow => {
+                "attack values clamped at birth and routed to CAN bytes only via the Injector choke point"
+            }
+            Rule::TransitivePanic => {
+                "no call path from Harness::step reaches a panicking function, in any crate"
+            }
+            Rule::EnumExhaustiveness => {
+                "no wildcard _ => arms when matching safety-critical enums"
+            }
         }
     }
 
@@ -92,13 +121,15 @@ impl fmt::Display for Rule {
     }
 }
 
-/// Diagnostic severity. Every rule currently reports errors; the variant
-/// exists so future advisory rules can ride the same pipeline.
+/// Diagnostic severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Severity {
     /// Gate-failing finding.
     Error,
-    /// Advisory finding; reported but does not affect the exit code.
+    /// Hygiene finding (dead suppressions, stale baseline entries). Also
+    /// fails the gate — rot in the suppression machinery is how real
+    /// findings get hidden — but is reported under a distinct label so the
+    /// two failure classes are distinguishable in output.
     Warning,
 }
 

@@ -4,7 +4,7 @@
 //! ADAS attacks succeed precisely by keeping corrupted values *inside* the
 //! safety-check envelope, so the reproduction's own safety layer, unit
 //! handling, and determinism guarantees are machine-checked rather than
-//! convention-checked. Five rules run over every workspace `.rs` file:
+//! convention-checked. Eight rules run over every workspace `.rs` file:
 //!
 //! | Rule | Name                  | Invariant                                            |
 //! |------|-----------------------|------------------------------------------------------|
@@ -13,26 +13,44 @@
 //! | R3   | `actuator-containment`| actuator command writes only in designated modules   |
 //! | R4   | `float-hygiene`       | no float `==`, no NaN-unchecked `partial_cmp`        |
 //! | R5   | `determinism`         | no wall clock / entropy RNGs outside the bench rig   |
+//! | R6   | `taint-flow`          | attack values clamped at birth, sinks only via the   |
+//! |      |                       | `Injector` choke point, no ADAS→attack back-flow     |
+//! | R7   | `transitive-panic`    | no call path from `Harness::step` reaches a panic    |
+//! | R8   | `enum-exhaustiveness` | no `_ =>` arms over safety-critical enums            |
+//!
+//! R1–R5 and R8 are per-file; R6/R7 are whole-workspace analyses over a
+//! parsed symbol table and cross-file call graph ([`parser`], [`symbols`],
+//! [`callgraph`], [`taint`]). Per-file work is cached by content hash
+//! ([`cache`]) and fanned out across cores, so warm runs are sub-second.
 //!
 //! Findings can be acknowledged two ways: an inline
 //! `// adas-lint: allow(<rule>, reason = "…")` comment for sites that are
 //! correct by construction, or the checked-in `lint-baseline.txt` for
-//! grandfathered code. Everything else fails the build: the
-//! `tests/lint_clean.rs` integration test runs the scan under `cargo test`.
+//! grandfathered code. Both are themselves checked: a suppression that
+//! absorbs nothing and a baseline entry whose site is gone each fail the
+//! gate. The `tests/lint_clean.rs` integration test runs the scan under
+//! `cargo test`.
 
 #![forbid(unsafe_code)]
 #![deny(clippy::float_cmp)]
 
 pub mod baseline;
+pub mod cache;
+pub mod callgraph;
 pub mod diag;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 pub mod scope;
+pub mod symbols;
+pub mod taint;
 pub mod tokenizer;
 
 pub use baseline::{Baseline, BaselineEntry};
 pub use diag::{Diagnostic, Rule, Severity, ALL_RULES};
 pub use scope::{classify, FileInfo, FileKind};
 
+use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -42,10 +60,31 @@ use std::path::{Path, PathBuf};
 /// fixtures.
 const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", ".github", "fixtures"];
 
+/// Knobs for a workspace scan.
+#[derive(Debug, Clone)]
+pub struct ScanOptions {
+    /// Whether to read/write the per-file facts cache.
+    pub use_cache: bool,
+    /// Cache directory; `None` means [`default_cache_dir`].
+    pub cache_dir: Option<PathBuf>,
+    /// Whether to analyze files across worker threads.
+    pub parallel: bool,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            use_cache: true,
+            cache_dir: None,
+            parallel: true,
+        }
+    }
+}
+
 /// Result of a workspace scan.
 #[derive(Debug, Default)]
 pub struct ScanReport {
-    /// Findings that survived inline suppressions and the baseline.
+    /// Error findings that survived inline suppressions and the baseline.
     pub active: Vec<Diagnostic>,
     /// Findings absorbed by the baseline file.
     pub baselined: usize,
@@ -53,17 +92,70 @@ pub struct ScanReport {
     pub suppressed: usize,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// How many files were served from the facts cache.
+    pub cache_hits: usize,
     /// Baseline entries that matched nothing (stale).
     pub unused_baseline: Vec<BaselineEntry>,
+    /// Inline suppressions that absorbed nothing (dead), as warnings.
+    pub dead_suppressions: Vec<Diagnostic>,
 }
 
-/// Scans one source text as if it lived at `rel_path`. No baseline is
-/// applied; inline suppressions are honored. This is the entry point the
-/// tests use to prove rules fire.
+impl ScanReport {
+    /// Whether the scan should gate the build: any active finding, dead
+    /// suppression, or stale baseline entry fails.
+    pub fn is_clean(&self) -> bool {
+        self.active.is_empty() && self.dead_suppressions.is_empty() && self.unused_baseline.is_empty()
+    }
+}
+
+/// Scans one source text as if it lived at `rel_path`. Per-file rules only
+/// (R1–R5, R8); inline suppressions are honored, no baseline. This is the
+/// entry point single-file tests use to prove rules fire.
 pub fn scan_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     let info = classify(rel_path);
     let file = tokenizer::tokenize(source);
-    rules::check_file(&info, &file)
+    let facts = parser::parse(&file);
+    let mut out = rules::local_rules(&info, &file, &facts);
+    out.retain(|d| !file.is_suppressed(d.line, d.rule));
+    out
+}
+
+/// Scans an in-memory multi-file set: per-file rules plus the cross-file
+/// R6/R7 analyses, with the permissive crate closure (every crate sees
+/// every other — there are no manifests to consult). Inline suppressions
+/// are honored, no baseline. This is how the taint-flow fixture tests
+/// drive the workspace rules without a workspace on disk.
+pub fn scan_sources(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let mut parsed: Vec<(FileInfo, parser::FileFacts)> = Vec::new();
+    let mut tokenized: Vec<tokenizer::SourceFile> = Vec::new();
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for (rel, text) in sources {
+        let info = classify(rel);
+        let file = tokenizer::tokenize(text);
+        let facts = parser::parse(&file);
+        out.extend(
+            rules::local_rules(&info, &file, &facts)
+                .into_iter()
+                .filter(|d| !file.is_suppressed(d.line, d.rule)),
+        );
+        parsed.push((info, facts));
+        tokenized.push(file);
+    }
+    let table = symbols::SymbolTable::build(&parsed, None);
+    let graph = callgraph::CallGraph::build(&parsed, &table);
+    let mut ws = taint::r6_taint_flow(&table, &graph);
+    ws.extend(callgraph::r7_transitive_panic_freedom(&table, &graph));
+    for d in ws {
+        let suppressed = parsed
+            .iter()
+            .position(|(info, _)| info.rel == d.file)
+            .is_some_and(|i| tokenized[i].is_suppressed(d.line, d.rule));
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
 }
 
 /// Collects every scannable `.rs` file under `root`, workspace-relative,
@@ -91,30 +183,164 @@ pub fn collect_files(root: &Path) -> io::Result<Vec<String>> {
     Ok(out)
 }
 
-/// Scans the whole workspace, applying `baseline` if given.
-pub fn scan_workspace(root: &Path, mut baseline: Option<Baseline>) -> io::Result<ScanReport> {
-    let mut report = ScanReport::default();
-    for rel in collect_files(root)? {
-        let source = fs::read_to_string(root.join(&rel))?;
-        let info = classify(&rel);
-        let file = tokenizer::tokenize(&source);
-        let diags = rules::check_file(&info, &file);
-        report.suppressed += rules::count_suppressed(&info, &file);
-        report.files_scanned += 1;
-        for d in diags {
-            if baseline.as_mut().is_some_and(|b| b.matches(&d)) {
-                report.baselined += 1;
-            } else {
-                report.active.push(d);
+/// Default facts-cache location, under the Cargo target dir so `cargo
+/// clean` clears it too.
+pub fn default_cache_dir(root: &Path) -> PathBuf {
+    root.join("target").join("adas-lint-cache")
+}
+
+/// Scans the whole workspace with default options (cache on, parallel).
+pub fn scan_workspace(root: &Path, baseline: Option<Baseline>) -> io::Result<ScanReport> {
+    scan_workspace_with(root, baseline, &ScanOptions::default())
+}
+
+/// Scans the whole workspace: per-file rules (cached, parallel), then the
+/// cross-file R6/R7 analyses over the assembled symbol table and call
+/// graph, then suppression/baseline resolution with dead-entry detection.
+pub fn scan_workspace_with(
+    root: &Path,
+    mut baseline: Option<Baseline>,
+    opts: &ScanOptions,
+) -> io::Result<ScanReport> {
+    let rels = collect_files(root)?;
+    let cache_dir = opts
+        .cache_dir
+        .clone()
+        .unwrap_or_else(|| default_cache_dir(root));
+
+    // Phase 1: per-file analysis — tokenize/parse/local rules, or a cache
+    // hit keyed by content hash. Pure per-file work, so it fans out.
+    let analyze = |i: usize| -> io::Result<(FileInfo, cache::FileAnalysis, bool)> {
+        let rel = &rels[i];
+        let source = fs::read_to_string(root.join(rel))?;
+        let info = classify(rel);
+        let hash = cache::content_hash(source.as_bytes());
+        if opts.use_cache {
+            if let Some(a) = cache::load(&cache_dir, rel, hash) {
+                return Ok((info, a, true));
             }
         }
+        let a = rules::analyze_file(&info, &source);
+        if opts.use_cache {
+            cache::store(&cache_dir, rel, hash, &a);
+        }
+        Ok((info, a, false))
+    };
+    let results: Vec<io::Result<(FileInfo, cache::FileAnalysis, bool)>> = if opts.parallel {
+        platform::experiment::run_parallel_map(rels.len(), analyze)
+    } else {
+        (0..rels.len()).map(analyze).collect()
+    };
+
+    let mut report = ScanReport::default();
+    let mut analyses: Vec<(FileInfo, cache::FileAnalysis)> = Vec::with_capacity(results.len());
+    for r in results {
+        let (info, a, hit) = r?;
+        report.files_scanned += 1;
+        if hit {
+            report.cache_hits += 1;
+        }
+        analyses.push((info, a));
     }
+
+    // Phase 2: workspace rules over the merged facts. Cheap (graph walks),
+    // so it always recomputes — the cache can never stale a cross-file
+    // result.
+    let files: Vec<(FileInfo, parser::FileFacts)> = analyses
+        .iter()
+        .map(|(info, a)| {
+            (
+                info.clone(),
+                parser::FileFacts {
+                    fns: a.fns.clone(),
+                    ..parser::FileFacts::default()
+                },
+            )
+        })
+        .collect();
+    let deps = symbols::workspace_deps(root);
+    let table = symbols::SymbolTable::build(&files, Some(&deps));
+    let graph = callgraph::CallGraph::build(&files, &table);
+    let mut workspace_diags = taint::r6_taint_flow(&table, &graph);
+    workspace_diags.extend(callgraph::r7_transitive_panic_freedom(&table, &graph));
+
+    // Phase 3: suppression and baseline resolution, tracking which
+    // suppressions actually earned their keep.
+    let mut sites: Vec<(String, cache::SuppressionSite, bool)> = Vec::new();
+    let mut sites_by_file: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (info, a) in &analyses {
+        for s in &a.suppressions {
+            sites_by_file
+                .entry(info.rel.as_str())
+                .or_default()
+                .push(sites.len());
+            sites.push((info.rel.clone(), s.clone(), false));
+        }
+    }
+
+    let mut candidates: Vec<Diagnostic> = analyses
+        .iter()
+        .flat_map(|(_, a)| a.raw_diags.iter().cloned())
+        .collect();
+    candidates.extend(workspace_diags);
+    for d in candidates {
+        let mut absorbed = false;
+        if let Some(idxs) = sites_by_file.get(d.file.as_str()) {
+            for &i in idxs {
+                let (_, site, used) = &mut sites[i];
+                if site.line == d.line && (site.rules.is_empty() || site.rules.contains(&d.rule)) {
+                    *used = true;
+                    absorbed = true;
+                    break;
+                }
+            }
+        }
+        if absorbed {
+            report.suppressed += 1;
+        } else if baseline.as_mut().is_some_and(|b| b.matches(&d)) {
+            report.baselined += 1;
+        } else {
+            report.active.push(d);
+        }
+    }
+
+    for (file, site, used) in sites {
+        if used {
+            continue;
+        }
+        let claimed = if site.rules.is_empty() {
+            "all rules".to_string()
+        } else {
+            site.rules
+                .iter()
+                .map(|r| r.id())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        report.dead_suppressions.push(Diagnostic {
+            // A blanket allow has no single rule to attribute; R2 is the
+            // rule suppressions most commonly excuse.
+            rule: site.rules.first().copied().unwrap_or(Rule::PanicFreedom),
+            severity: Severity::Warning,
+            file,
+            line: site.line,
+            snippet: format!("adas-lint: allow({claimed})"),
+            message: format!(
+                "dead suppression: the inline allow for {claimed} absorbs no \
+                 finding — the code it excused is gone; remove the comment"
+            ),
+        });
+    }
+
     if let Some(b) = baseline {
         report.unused_baseline = b.unused();
     }
     report
         .active
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+        .dead_suppressions
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(report)
 }
 
@@ -154,6 +380,25 @@ mod tests {
         );
         assert!(d.iter().any(|d| d.rule == Rule::UnitSafety));
         assert!(d.iter().any(|d| d.rule == Rule::PanicFreedom));
+    }
+
+    #[test]
+    fn scan_sources_runs_cross_file_rules() {
+        let d = scan_sources(&[
+            (
+                "crates/platform/src/harness.rs",
+                "pub struct Harness;\nimpl Harness { pub fn step(&mut self) { helper(); } }\n",
+            ),
+            (
+                "crates/core/src/util.rs",
+                "pub fn helper() { danger(); }\npub fn danger() { panic!(\"boom\"); }\n",
+            ),
+        ]);
+        assert!(
+            d.iter().any(|d| d.rule == Rule::TransitivePanic
+                && d.message.contains("Harness::step → helper → danger")),
+            "{d:?}"
+        );
     }
 
     #[test]

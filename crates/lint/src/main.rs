@@ -3,15 +3,19 @@
 //! ```text
 //! cargo run -p adas-lint                      # human output, exit 1 on findings
 //! cargo run -p adas-lint -- --format json     # machine-readable report
+//! cargo run -p adas-lint -- --format sarif    # SARIF 2.1.0 (code scanning)
 //! cargo run -p adas-lint -- --write-baseline  # grandfather current findings
 //! cargo run -p adas-lint -- --list-rules      # rule reference
 //! ```
 //!
-//! Exit codes: `0` clean, `1` active findings, `2` usage or I/O error.
+//! Exit codes: `0` clean, `1` active findings / dead suppressions / stale
+//! baseline entries, `2` usage or I/O error.
 
 #![forbid(unsafe_code)]
 
-use adas_lint::{baseline, default_baseline_path, load_baseline, scan_workspace, ALL_RULES};
+use adas_lint::{
+    baseline, default_baseline_path, load_baseline, scan_workspace_with, ScanOptions, ALL_RULES,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -22,27 +26,38 @@ struct Options {
     use_baseline: bool,
     write_baseline: bool,
     list_rules: bool,
+    list_files: bool,
+    sarif_out: Option<PathBuf>,
+    timings: bool,
+    scan: ScanOptions,
 }
 
 #[derive(PartialEq)]
 enum Format {
     Human,
     Json,
+    Sarif,
 }
 
 const USAGE: &str = "adas-lint — safety-invariant static analysis for this workspace
 
 USAGE:
-    adas-lint [--root DIR] [--format human|json] [--baseline FILE]
-              [--no-baseline] [--write-baseline] [--list-rules]
+    adas-lint [--root DIR] [--format human|json|sarif] [--baseline FILE]
+              [--no-baseline] [--write-baseline] [--list-rules] [--list-files]
+              [--sarif-out FILE] [--no-cache] [--cache-dir DIR] [--timings]
 
 OPTIONS:
     --root DIR         Workspace root to scan (default: auto-detected)
-    --format FMT       Output format: human (default) or json
+    --format FMT       Output format: human (default), json, or sarif
     --baseline FILE    Baseline file (default: <root>/lint-baseline.txt)
     --no-baseline      Ignore the baseline; report every finding
     --write-baseline   Rewrite the baseline from current findings and exit
     --list-rules       Print the rule table and exit
+    --list-files       Print every file the scan covers and exit
+    --sarif-out FILE   Additionally write a SARIF 2.1.0 report to FILE
+    --no-cache         Bypass the per-file facts cache (cold scan)
+    --cache-dir DIR    Facts cache dir (default: <root>/target/adas-lint-cache)
+    --timings          Print scan wall-time and cache statistics to stderr
 ";
 
 fn parse_args() -> Result<Options, String> {
@@ -53,6 +68,10 @@ fn parse_args() -> Result<Options, String> {
         use_baseline: true,
         write_baseline: false,
         list_rules: false,
+        list_files: false,
+        sarif_out: None,
+        timings: false,
+        scan: ScanOptions::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,7 +82,10 @@ fn parse_args() -> Result<Options, String> {
             "--format" => match args.next().as_deref() {
                 Some("human") => opts.format = Format::Human,
                 Some("json") => opts.format = Format::Json,
-                other => return Err(format!("--format must be human or json, got {other:?}")),
+                Some("sarif") => opts.format = Format::Sarif,
+                other => {
+                    return Err(format!("--format must be human, json, or sarif, got {other:?}"))
+                }
             },
             "--baseline" => {
                 opts.baseline_path =
@@ -72,6 +94,17 @@ fn parse_args() -> Result<Options, String> {
             "--no-baseline" => opts.use_baseline = false,
             "--write-baseline" => opts.write_baseline = true,
             "--list-rules" => opts.list_rules = true,
+            "--list-files" => opts.list_files = true,
+            "--sarif-out" => {
+                opts.sarif_out =
+                    Some(PathBuf::from(args.next().ok_or("--sarif-out needs a value")?));
+            }
+            "--no-cache" => opts.scan.use_cache = false,
+            "--cache-dir" => {
+                opts.scan.cache_dir =
+                    Some(PathBuf::from(args.next().ok_or("--cache-dir needs a value")?));
+            }
+            "--timings" => opts.timings = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -80,6 +113,26 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// Emits, self-validates, and writes/prints the SARIF document.
+fn sarif_report(
+    report: &adas_lint::ScanReport,
+    out_path: Option<&PathBuf>,
+    print: bool,
+) -> Result<(), String> {
+    let mut all = report.active.clone();
+    all.extend(report.dead_suppressions.iter().cloned());
+    let doc = adas_lint::sarif::emit(&all);
+    adas_lint::sarif::validate(&doc)
+        .map_err(|e| format!("internal error: emitted SARIF failed self-validation: {e}"))?;
+    if let Some(path) = out_path {
+        std::fs::write(path, &doc).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if print {
+        print!("{doc}");
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -98,13 +151,28 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if opts.list_files {
+        match adas_lint::collect_files(&opts.root) {
+            Ok(files) => {
+                for f in files {
+                    println!("{f}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("error: cannot walk {}: {e}", opts.root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let baseline_path = opts
         .baseline_path
         .clone()
         .unwrap_or_else(|| default_baseline_path(&opts.root));
 
     if opts.write_baseline {
-        let report = match scan_workspace(&opts.root, None) {
+        let report = match scan_workspace_with(&opts.root, None, &opts.scan) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: scan failed: {e}");
@@ -136,17 +204,52 @@ fn main() -> ExitCode {
         None
     };
 
-    let report = match scan_workspace(&opts.root, baseline) {
+    // The lint crate is R5-exempt tooling: measuring its own wall-time is
+    // the point of --timings.
+    let t0 = std::time::Instant::now();
+    let report = match scan_workspace_with(&opts.root, baseline, &opts.scan) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
+    let elapsed = t0.elapsed();
+
+    if opts.timings {
+        eprintln!(
+            "adas-lint: scan took {:.1} ms ({}/{} files from cache, {})",
+            elapsed.as_secs_f64() * 1e3,
+            report.cache_hits,
+            report.files_scanned,
+            if opts.scan.use_cache {
+                "cache on"
+            } else {
+                "cache off"
+            },
+        );
+    }
+
+    if opts.sarif_out.is_some() || opts.format == Format::Sarif {
+        if let Err(e) = sarif_report(
+            &report,
+            opts.sarif_out.as_ref(),
+            opts.format == Format::Sarif,
+        ) {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
 
     match opts.format {
+        Format::Sarif => {} // already printed
         Format::Json => {
-            let diags: Vec<String> = report.active.iter().map(|d| d.render_json()).collect();
+            let diags: Vec<String> = report
+                .active
+                .iter()
+                .chain(report.dead_suppressions.iter())
+                .map(|d| d.render_json())
+                .collect();
             let unused: Vec<String> = report
                 .unused_baseline
                 .iter()
@@ -160,38 +263,43 @@ fn main() -> ExitCode {
                 })
                 .collect();
             println!(
-                "{{\"version\":1,\"diagnostics\":[{}],\"unused_baseline\":[{}],\"summary\":{{\"files_scanned\":{},\"active\":{},\"baselined\":{},\"suppressed\":{}}}}}",
+                "{{\"version\":2,\"diagnostics\":[{}],\"unused_baseline\":[{}],\"summary\":{{\"files_scanned\":{},\"cache_hits\":{},\"active\":{},\"dead_suppressions\":{},\"baselined\":{},\"suppressed\":{}}}}}",
                 diags.join(","),
                 unused.join(","),
                 report.files_scanned,
+                report.cache_hits,
                 report.active.len(),
+                report.dead_suppressions.len(),
                 report.baselined,
                 report.suppressed,
             );
         }
         Format::Human => {
-            for d in &report.active {
+            for d in report.active.iter().chain(report.dead_suppressions.iter()) {
                 println!("{}", d.render_human());
             }
             for e in &report.unused_baseline {
                 println!(
-                    "note: stale baseline entry (site was fixed — remove it): {} {} `{}`",
+                    "warning: stale baseline entry (site was fixed — remove it): {} {} `{}`",
                     e.rule.id(),
                     e.file,
                     e.snippet
                 );
             }
             println!(
-                "adas-lint: {} files scanned, {} active finding(s), {} baselined, {} suppressed",
+                "adas-lint: {} files scanned ({} cached), {} active finding(s), {} dead suppression(s), {} stale baseline entr(ies), {} baselined, {} suppressed",
                 report.files_scanned,
+                report.cache_hits,
                 report.active.len(),
+                report.dead_suppressions.len(),
+                report.unused_baseline.len(),
                 report.baselined,
                 report.suppressed,
             );
         }
     }
 
-    if report.active.is_empty() {
+    if report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -1,0 +1,900 @@
+//! A token-tree/item parser on top of the masking tokenizer.
+//!
+//! This is deliberately **not** a Rust grammar. The cross-file rules
+//! (R6 taint flow, R7 transitive panic freedom, R8 safety-enum
+//! exhaustiveness) only need to know, per file:
+//!
+//! * which functions are defined (free functions and `impl` methods, with
+//!   their return-type text and whether they live in test code),
+//! * which calls, macro invocations, panic primitives, and field accesses
+//!   each function body contains,
+//! * which `match` expressions exist and what their arm patterns look like,
+//! * which `enum`s are declared.
+//!
+//! Everything is extracted from the tokenizer's *masked* lines, so string
+//! literals and comments can never fabricate an item, and from a compound
+//! token stream where `::`, `->` and `=>` are single tokens — which is what
+//! makes `Vec<Vec<f64>>` (two closing angles) distinguishable from the
+//! shift in `a >> b` without type information: inside generic brackets the
+//! only `>` tokens left after arrow fusion are closers.
+
+use crate::tokenizer::SourceFile;
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Identifier, keyword, number, or punctuation (`::`, `->`, `=>` are
+    /// fused; every other punctuation char stands alone).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+    /// Whether the token is an identifier/keyword/number.
+    pub is_word: bool,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `helper(…)` — a free function in scope.
+    Free(String),
+    /// `Type::method(…)` / `module::func(…)` — the last two path segments.
+    Path(String, String),
+    /// `.method(…)` — receiver type unknown.
+    Method(String),
+}
+
+impl Callee {
+    /// The bare function name being invoked.
+    pub fn name(&self) -> &str {
+        match self {
+            Callee::Free(n) | Callee::Method(n) => n,
+            Callee::Path(_, n) => n,
+        }
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// 1-based line of the callee token.
+    pub line: usize,
+    /// The callee as written.
+    pub callee: Callee,
+}
+
+/// One panic primitive inside a function body: `unwrap`/`expect` calls or
+/// a `panic!`/`unreachable!`/`todo!`/`unimplemented!` invocation.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// 1-based line.
+    pub line: usize,
+    /// The primitive, e.g. `unwrap` or `panic!`.
+    pub what: String,
+}
+
+/// A parsed function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare name (`step`).
+    pub name: String,
+    /// Qualified name (`Harness::step` for impl methods, else the bare
+    /// name).
+    pub qual: String,
+    /// `impl` type the method belongs to, if any.
+    pub impl_type: Option<String>,
+    /// Whether the signature is `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// Whether the definition lives in `#[cfg(test)]`/`#[test]` code.
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Return-type text after `->` (empty for `()` returns).
+    pub ret: String,
+    /// Call sites in the body, in order.
+    pub calls: Vec<Call>,
+    /// Panic primitives in the body.
+    pub panics: Vec<PanicSite>,
+    /// Field accesses `.field` (reads and writes alike) in the body.
+    pub fields: Vec<(usize, String)>,
+    /// Macro invocations in the body (name without `!`).
+    pub macros: Vec<(usize, String)>,
+}
+
+/// One arm of a `match`.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// 1-based line the pattern starts on.
+    pub line: usize,
+    /// Pattern text (tokens joined with spaces), guard included.
+    pub pat: String,
+    /// Whether the pattern is a bare `_` (optionally guarded).
+    pub wildcard: bool,
+    /// `Enum::Variant` path heads appearing in the pattern (the `Enum`
+    /// part), deduplicated.
+    pub enum_heads: Vec<String>,
+}
+
+/// One `match` expression with its arms (innermost ownership: arms of a
+/// nested match belong to the nested fact, not the enclosing one).
+#[derive(Debug, Clone)]
+pub struct MatchFact {
+    /// 1-based line of the `match` keyword.
+    pub line: usize,
+    /// Scrutinee text (tokens joined with spaces).
+    pub scrutinee: String,
+    /// The arms, in order.
+    pub arms: Vec<Arm>,
+    /// Whether the match sits in test code.
+    pub is_test: bool,
+}
+
+/// A declared `enum` and its variants.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Variant names, in declaration order.
+    pub variants: Vec<String>,
+    /// 1-based line of the `enum` keyword.
+    pub line: usize,
+}
+
+/// Everything the cross-file rules need from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileFacts {
+    /// Function definitions, in source order.
+    pub fns: Vec<FnDef>,
+    /// Match expressions, innermost-ownership.
+    pub matches: Vec<MatchFact>,
+    /// Enum declarations.
+    pub enums: Vec<EnumDef>,
+    /// Struct names declared in the file.
+    pub structs: Vec<String>,
+}
+
+/// Keywords that look like callees when followed by `(` but are not.
+const NON_CALL_KEYWORDS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "loop", "in", "as", "fn", "let", "else", "move",
+];
+
+/// The explicit panic primitives R7 tracks. Indexing is deliberately not
+/// in this set: it stays a *lexical* obligation (R2) inside the safety-path
+/// crates, where bounds are short and reviewable, because a call-chain
+/// report for every fixed-size array access in the plant model would bury
+/// the real findings.
+pub const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+/// Method calls that panic on `None`/`Err`.
+pub const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Lexes the masked lines into a compound token stream.
+pub fn lex(src: &SourceFile) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (idx, line) in src.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let chars: Vec<char> = line.code.chars().collect();
+        let n = chars.len();
+        let mut i = 0usize;
+        while i < n {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    line: lineno,
+                    is_word: true,
+                });
+            } else {
+                // Fuse `::`, `->`, `=>`; leave every other punct single so
+                // `>>` stays two closers for angle balancing.
+                let two: Option<&str> = match (c, chars.get(i + 1)) {
+                    (':', Some(':')) => Some("::"),
+                    ('-', Some('>')) => Some("->"),
+                    ('=', Some('>')) => Some("=>"),
+                    _ => None,
+                };
+                match two {
+                    Some(t) => {
+                        toks.push(Tok {
+                            text: t.to_string(),
+                            line: lineno,
+                            is_word: false,
+                        });
+                        i += 2;
+                    }
+                    None => {
+                        toks.push(Tok {
+                            text: c.to_string(),
+                            line: lineno,
+                            is_word: false,
+                        });
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    toks
+}
+
+/// Index one past the bracket that closes the opener at `open` (which must
+/// be `(`, `[`, or `{`). Falls back to `toks.len()` on imbalance.
+fn matching(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Skips a generic argument list starting at `<`; returns the index one
+/// past the matching `>`. Arrow fusion at lex time means every remaining
+/// `>` inside is a closer, so `Vec<Vec<f64>>` balances exactly.
+fn skip_generics(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            // A parenthesized group may contain comparisons; skip it whole.
+            "(" | "[" | "{" => i = matching(toks, i) - 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Parses one file's facts out of its tokenized form. `in_test(line)` maps
+/// a 1-based line to the tokenizer's test-region flag.
+pub fn parse(src: &SourceFile) -> FileFacts {
+    let toks = lex(src);
+    let in_test = |line: usize| {
+        src.lines
+            .get(line.saturating_sub(1))
+            .is_some_and(|l| l.in_test)
+    };
+    let mut facts = FileFacts::default();
+
+    // impl-context stack: (type name, brace depth at which the impl body
+    // opened). A `fn` token inside the top context is a method of it.
+    let mut impl_stack: Vec<(String, i64)> = Vec::new();
+    let mut depth = 0i64;
+    // `pub` visibility is reset at every item delimiter.
+    let mut saw_pub = false;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                saw_pub = false;
+                i += 1;
+            }
+            "}" => {
+                if impl_stack.last().is_some_and(|(_, d)| *d == depth) {
+                    impl_stack.pop();
+                }
+                depth -= 1;
+                saw_pub = false;
+                i += 1;
+            }
+            ";" => {
+                saw_pub = false;
+                i += 1;
+            }
+            "pub" => {
+                // `pub(crate)`/`pub(super)` are not public API.
+                saw_pub = toks.get(i + 1).is_none_or(|n| n.text != "(");
+                if !saw_pub {
+                    i = matching(&toks, i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            "impl" => {
+                if let Some((ty, body_open)) = parse_impl_header(&toks, i) {
+                    // Record the depth the impl body will open at.
+                    impl_stack.push((ty, depth + 1));
+                    depth += 1;
+                    i = body_open + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "struct" => {
+                if let Some(name) = toks.get(i + 1).filter(|t| t.is_word) {
+                    facts.structs.push(name.text.clone());
+                }
+                i += 1;
+            }
+            "enum" => {
+                let (def, next) = parse_enum(&toks, i);
+                if let Some(def) = def {
+                    facts.enums.push(def);
+                }
+                i = next;
+            }
+            "fn" => {
+                let (def, next) = parse_fn(&toks, i, &impl_stack, saw_pub, &in_test, &mut facts);
+                if let Some(def) = def {
+                    facts.fns.push(def);
+                }
+                saw_pub = false;
+                i = next;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    facts
+}
+
+/// Parses `impl … {`: returns the implemented type name and the index of
+/// the `{` opening the body. Handles `impl<T> Foo<T>`, `impl Trait for
+/// Type`, and `where` clauses.
+fn parse_impl_header(toks: &[Tok], impl_idx: usize) -> Option<(String, usize)> {
+    let mut i = impl_idx + 1;
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_generics(toks, i);
+    }
+    // Collect path segments until `for` / `{` / `where`.
+    let mut head: Option<String> = None;
+    let mut tail: Option<String> = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => {
+                return Some((tail.or(head)?, i));
+            }
+            "for" => {
+                // Trait impl: the type follows.
+                i += 1;
+                let mut ty: Option<String> = None;
+                while i < toks.len() {
+                    match toks[i].text.as_str() {
+                        "{" => return Some((ty?, i)),
+                        "where" => {
+                            while i < toks.len() && toks[i].text != "{" {
+                                i += 1;
+                            }
+                            return Some((ty?, i));
+                        }
+                        "<" => i = skip_generics(toks, i),
+                        "::" | "&" | "'" | "mut" => i += 1,
+                        _ if toks[i].is_word => {
+                            ty = Some(toks[i].text.clone());
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                return None;
+            }
+            "where" => {
+                while i < toks.len() && toks[i].text != "{" {
+                    i += 1;
+                }
+                return Some((tail.or(head)?, i));
+            }
+            "<" => {
+                i = skip_generics(toks, i);
+            }
+            "::" => {
+                i += 1;
+            }
+            _ if t.is_word => {
+                if head.is_none() {
+                    head = Some(t.text.clone());
+                } else {
+                    tail = Some(t.text.clone());
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Parses `enum Name { Variant, … }`; returns the def and the index one
+/// past the closing brace.
+fn parse_enum(toks: &[Tok], enum_idx: usize) -> (Option<EnumDef>, usize) {
+    let Some(name) = toks.get(enum_idx + 1).filter(|t| t.is_word) else {
+        return (None, enum_idx + 1);
+    };
+    let mut i = enum_idx + 2;
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_generics(toks, i);
+    }
+    while i < toks.len() && toks[i].text != "{" && toks[i].text != ";" {
+        i += 1;
+    }
+    if i >= toks.len() || toks[i].text == ";" {
+        return (None, i);
+    }
+    let end = matching(toks, i);
+    let mut variants = Vec::new();
+    let mut expect_variant = true;
+    let mut j = i + 1;
+    while j < end.saturating_sub(1) {
+        match toks[j].text.as_str() {
+            "(" | "[" | "{" => {
+                j = matching(toks, j);
+                continue;
+            }
+            "," => expect_variant = true,
+            // Attribute on a variant: `#[…]`.
+            "#" if toks.get(j + 1).is_some_and(|t| t.text == "[") => {
+                j = matching(toks, j + 1);
+                continue;
+            }
+            "=" => expect_variant = false, // discriminant expression
+            _ if toks[j].is_word && expect_variant => {
+                variants.push(toks[j].text.clone());
+                expect_variant = false;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (
+        Some(EnumDef {
+            name: name.text.clone(),
+            variants,
+            line: toks[enum_idx].line,
+        }),
+        end,
+    )
+}
+
+/// Parses a `fn` item starting at the `fn` token. Returns the def (if the
+/// fn has a name) and the index one past the body (or the `;` for bodiless
+/// trait declarations).
+fn parse_fn(
+    toks: &[Tok],
+    fn_idx: usize,
+    impl_stack: &[(String, i64)],
+    is_pub: bool,
+    in_test: &dyn Fn(usize) -> bool,
+    facts: &mut FileFacts,
+) -> (Option<FnDef>, usize) {
+    let Some(name) = toks.get(fn_idx + 1).filter(|t| t.is_word) else {
+        return (None, fn_idx + 1);
+    };
+    let mut i = fn_idx + 2;
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_generics(toks, i);
+    }
+    if toks.get(i).is_none_or(|t| t.text != "(") {
+        return (None, i);
+    }
+    i = matching(toks, i); // past the parameter list
+    let mut ret = String::new();
+    if toks.get(i).is_some_and(|t| t.text == "->") {
+        i += 1;
+        while i < toks.len() && toks[i].text != "{" && toks[i].text != ";" && toks[i].text != "where"
+        {
+            if !ret.is_empty() {
+                ret.push(' ');
+            }
+            ret.push_str(&toks[i].text);
+            i += 1;
+        }
+    }
+    while i < toks.len() && toks[i].text != "{" && toks[i].text != ";" {
+        i += 1;
+    }
+    if i >= toks.len() || toks[i].text == ";" {
+        // Trait method declaration without a body.
+        return (
+            Some(FnDef {
+                name: name.text.clone(),
+                qual: qualify(impl_stack, &name.text),
+                impl_type: impl_stack.last().map(|(t, _)| t.clone()),
+                is_pub,
+                is_test: in_test(toks[fn_idx].line),
+                line: toks[fn_idx].line,
+                ret,
+                calls: Vec::new(),
+                panics: Vec::new(),
+                fields: Vec::new(),
+                macros: Vec::new(),
+            }),
+            i + 1,
+        );
+    }
+    let body_start = i;
+    let body_end = matching(toks, body_start);
+    let mut def = FnDef {
+        name: name.text.clone(),
+        qual: qualify(impl_stack, &name.text),
+        impl_type: impl_stack.last().map(|(t, _)| t.clone()),
+        is_pub,
+        is_test: in_test(toks[fn_idx].line),
+        line: toks[fn_idx].line,
+        ret,
+        calls: Vec::new(),
+        panics: Vec::new(),
+        fields: Vec::new(),
+        macros: Vec::new(),
+    };
+    scan_flat(toks, body_start + 1, body_end.saturating_sub(1), &mut def);
+    scan_matches(
+        toks,
+        body_start + 1,
+        body_end.saturating_sub(1),
+        in_test,
+        &mut facts.matches,
+    );
+    (Some(def), body_end)
+}
+
+fn qualify(impl_stack: &[(String, i64)], name: &str) -> String {
+    match impl_stack.last() {
+        Some((ty, _)) => format!("{ty}::{name}"),
+        None => name.to_string(),
+    }
+}
+
+/// Flat body scan: calls, panic primitives, field accesses, macros.
+/// Nested fns are rare in this workspace and their bodies are attributed
+/// to the enclosing def, which is conservative in the right direction for
+/// both R6 and R7 (the enclosing fn can reach whatever the nested one
+/// does).
+fn scan_flat(toks: &[Tok], start: usize, end: usize, def: &mut FnDef) {
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_word {
+            let next = toks.get(i + 1).map(|t| t.text.as_str());
+            let prev = if i > start {
+                Some(toks[i - 1].text.as_str())
+            } else {
+                None
+            };
+            if next == Some("!") && PANIC_MACROS.contains(&t.text.as_str()) {
+                def.panics.push(PanicSite {
+                    line: t.line,
+                    what: format!("{}!", t.text),
+                });
+                def.macros.push((t.line, t.text.clone()));
+                i += 2;
+                continue;
+            }
+            if next == Some("!") {
+                def.macros.push((t.line, t.text.clone()));
+                i += 2;
+                continue;
+            }
+            let call_paren = match next {
+                Some("(") => Some(i + 1),
+                // Turbofish: `name::<T>(…)`.
+                Some("::") if toks.get(i + 2).is_some_and(|t| t.text == "<") => {
+                    let after = skip_generics(toks, i + 2);
+                    toks.get(after)
+                        .filter(|t| t.text == "(")
+                        .map(|_| after)
+                }
+                _ => None,
+            };
+            if let Some(_paren) = call_paren {
+                if !NON_CALL_KEYWORDS.contains(&t.text.as_str()) && prev != Some("fn") {
+                    let callee = match prev {
+                        Some(".") => {
+                            if PANIC_METHODS.contains(&t.text.as_str()) {
+                                def.panics.push(PanicSite {
+                                    line: t.line,
+                                    what: format!(".{}()", t.text),
+                                });
+                            }
+                            Some(Callee::Method(t.text.clone()))
+                        }
+                        Some("::") if i >= start + 2 && toks[i - 2].is_word => {
+                            Some(Callee::Path(toks[i - 2].text.clone(), t.text.clone()))
+                        }
+                        _ => Some(Callee::Free(t.text.clone())),
+                    };
+                    if let Some(callee) = callee {
+                        def.calls.push(Call {
+                            line: t.line,
+                            callee,
+                        });
+                    }
+                }
+            } else if prev == Some(".") && next != Some("(") {
+                // `.field` access (await and numeric tuple indices included;
+                // harmless for the consumers).
+                def.fields.push((t.line, t.text.clone()));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Recursive match-expression scan over a body token range. Arms belong to
+/// the innermost match; nested matches inside arm bodies and scrutinees
+/// get their own fact.
+fn scan_matches(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<MatchFact>,
+) {
+    let mut i = start;
+    while i < end {
+        if toks[i].is_word && toks[i].text == "match" {
+            i = parse_match(toks, i, end, in_test, out);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Parses one `match` expression starting at the `match` keyword; returns
+/// the index one past its closing brace.
+fn parse_match(
+    toks: &[Tok],
+    match_idx: usize,
+    limit: usize,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<MatchFact>,
+) -> usize {
+    // Scrutinee: tokens until the `{` at nesting level 0. Rust forbids bare
+    // struct literals in scrutinee position, so the first level-0 `{` opens
+    // the match body.
+    let mut i = match_idx + 1;
+    let mut scrutinee = String::new();
+    while i < limit {
+        match toks[i].text.as_str() {
+            "{" => break,
+            "(" | "[" => {
+                let close = matching(toks, i);
+                for t in &toks[i..close.min(limit)] {
+                    if !scrutinee.is_empty() {
+                        scrutinee.push(' ');
+                    }
+                    scrutinee.push_str(&t.text);
+                }
+                i = close;
+            }
+            _ => {
+                if !scrutinee.is_empty() {
+                    scrutinee.push(' ');
+                }
+                scrutinee.push_str(&toks[i].text);
+                i += 1;
+            }
+        }
+    }
+    if i >= limit {
+        return limit;
+    }
+    let body_open = i;
+    let body_end = matching(toks, body_open);
+    let mut fact = MatchFact {
+        line: toks[match_idx].line,
+        scrutinee,
+        arms: Vec::new(),
+        is_test: in_test(toks[match_idx].line),
+    };
+
+    // Scrutinee may itself contain a `match` (e.g. `match match x {…} {…}`
+    // — never written here, but stay correct).
+    scan_matches(toks, match_idx + 1, body_open, in_test, out);
+
+    let mut j = body_open + 1;
+    let inner_end = body_end.saturating_sub(1);
+    while j < inner_end {
+        // Pattern: tokens until `=>` at level 0.
+        let pat_start = j;
+        let mut pat = String::new();
+        let mut enum_heads: Vec<String> = Vec::new();
+        while j < inner_end && toks[j].text != "=>" {
+            match toks[j].text.as_str() {
+                "(" | "[" | "{" => {
+                    let close = matching(toks, j);
+                    for k in j..close.min(inner_end) {
+                        push_pat_tok(toks, k, &mut pat, &mut enum_heads);
+                    }
+                    j = close;
+                }
+                _ => {
+                    push_pat_tok(toks, j, &mut pat, &mut enum_heads);
+                    j += 1;
+                }
+            }
+        }
+        if j >= inner_end {
+            break;
+        }
+        let pat_line = toks[pat_start].line;
+        let first = toks.get(pat_start).map(|t| t.text.as_str());
+        let second = toks.get(pat_start + 1).map(|t| t.text.as_str());
+        let wildcard = first == Some("_") && (pat_start + 1 == j || second == Some("if"));
+        enum_heads.sort();
+        enum_heads.dedup();
+        fact.arms.push(Arm {
+            line: pat_line,
+            pat,
+            wildcard,
+            enum_heads,
+        });
+        j += 1; // past `=>`
+        // Arm body: a block, or an expression up to the level-0 comma.
+        if j < inner_end && toks[j].text == "{" {
+            let close = matching(toks, j);
+            scan_matches(toks, j + 1, close.saturating_sub(1).min(inner_end), in_test, out);
+            j = close;
+            if j < inner_end && toks[j].text == "," {
+                j += 1;
+            }
+        } else {
+            let expr_start = j;
+            while j < inner_end && toks[j].text != "," {
+                match toks[j].text.as_str() {
+                    "(" | "[" | "{" => j = matching(toks, j),
+                    _ => j += 1,
+                }
+            }
+            scan_matches(toks, expr_start, j.min(inner_end), in_test, out);
+            if j < inner_end {
+                j += 1; // past `,`
+            }
+        }
+    }
+    out.push(fact);
+    body_end
+}
+
+/// Appends one pattern token, recording `Enum::Variant` heads.
+fn push_pat_tok(toks: &[Tok], idx: usize, pat: &mut String, enum_heads: &mut Vec<String>) {
+    let t = &toks[idx];
+    if !pat.is_empty() {
+        pat.push(' ');
+    }
+    pat.push_str(&t.text);
+    if t.text == "::" {
+        if let (Some(prev), Some(next)) = (
+            toks.get(idx.wrapping_sub(1)).filter(|t| t.is_word),
+            toks.get(idx + 1).filter(|t| t.is_word),
+        ) {
+            // `Enum::Variant` — heuristically a path into a type when the
+            // head is capitalized (`msgbus::schema` stays out).
+            if prev.text.chars().next().is_some_and(|c| c.is_uppercase())
+                && next.text.chars().next().is_some_and(|c| c.is_uppercase())
+            {
+                enum_heads.push(prev.text.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn facts(src: &str) -> FileFacts {
+        parse(&tokenize(src))
+    }
+
+    #[test]
+    fn fuses_compound_tokens() {
+        let toks = lex(&tokenize("a::b -> c => d"));
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["a", "::", "b", "->", "c", "=>", "d"]);
+    }
+
+    #[test]
+    fn parses_free_fn_and_method() {
+        let f = facts(
+            "pub fn free(x: u8) -> Vec<Vec<f64>> { helper(x); v.push(1); }\n\
+             impl Harness { fn step(&mut self) { self.world.advance(); } }\n",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].qual, "free");
+        assert!(f.fns[0].is_pub);
+        assert_eq!(f.fns[0].ret, "Vec < Vec < f64 > >");
+        assert_eq!(f.fns[1].qual, "Harness::step");
+        assert!(!f.fns[1].is_pub);
+        let callees: Vec<&str> = f.fns[1].calls.iter().map(|c| c.callee.name()).collect();
+        assert_eq!(callees, vec!["advance"]);
+    }
+
+    #[test]
+    fn trait_impl_attributes_methods_to_the_type() {
+        let f = facts("impl Display for AttackType { fn fmt(&self) { write(); } }\n");
+        assert_eq!(f.fns[0].qual, "AttackType::fmt");
+    }
+
+    #[test]
+    fn records_calls_paths_and_panics() {
+        let f = facts(
+            "fn f() {\n  let x = canbus::rewrite_signal(a, b);\n  let y = opt.unwrap();\n  panic!(\"boom\");\n  Type::make(1);\n}\n",
+        );
+        let d = &f.fns[0];
+        assert!(d
+            .calls
+            .iter()
+            .any(|c| c.callee == Callee::Path("canbus".into(), "rewrite_signal".into())));
+        assert!(d
+            .calls
+            .iter()
+            .any(|c| c.callee == Callee::Path("Type".into(), "make".into())));
+        let panics: Vec<&str> = d.panics.iter().map(|p| p.what.as_str()).collect();
+        assert!(panics.contains(&".unwrap()"));
+        assert!(panics.contains(&"panic!"));
+    }
+
+    #[test]
+    fn match_arms_innermost_ownership() {
+        let f = facts(
+            "fn f(a: A) -> bool {\n\
+             match a.b() {\n\
+               AttackAction::Go => match (x, y) {\n\
+                 (Some(q), Some(r)) => true,\n\
+                 _ => false,\n\
+               },\n\
+               AttackAction::Stop => false,\n\
+             }\n}\n",
+        );
+        assert_eq!(f.matches.len(), 2);
+        let inner = f
+            .matches
+            .iter()
+            .find(|m| m.scrutinee == "( x , y )")
+            .expect("inner match");
+        assert!(inner.arms.iter().any(|a| a.wildcard));
+        let outer = f
+            .matches
+            .iter()
+            .find(|m| m.scrutinee == "a . b ( )")
+            .expect("outer match");
+        assert!(!outer.arms.iter().any(|a| a.wildcard), "{outer:?}");
+        assert!(outer.arms[0].enum_heads.contains(&"AttackAction".into()));
+    }
+
+    #[test]
+    fn enum_variants_extracted() {
+        let f = facts(
+            "pub enum HazardKind {\n  #[doc = \"x\"]\n  H1,\n  H2(u8),\n  H3 { v: u8 },\n}\n",
+        );
+        assert_eq!(f.enums.len(), 1);
+        assert_eq!(f.enums[0].name, "HazardKind");
+        assert_eq!(f.enums[0].variants, vec!["H1", "H2", "H3"]);
+    }
+
+    #[test]
+    fn test_fns_are_flagged() {
+        let f = facts("#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn live() {}\n");
+        let t = f.fns.iter().find(|d| d.name == "t").unwrap();
+        assert!(t.is_test);
+        let live = f.fns.iter().find(|d| d.name == "live").unwrap();
+        assert!(!live.is_test);
+    }
+}

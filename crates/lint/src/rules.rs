@@ -1,16 +1,27 @@
-//! The five safety-invariant rules, as lexical checks over masked lines.
+//! The per-file rules: R1–R5 as lexical checks over masked lines, R8 over
+//! the parsed match facts.
 //!
-//! Every rule receives lines that have already had comments and string
-//! literals blanked out by the tokenizer, so the matching here can stay
-//! simple without producing false positives from prose. The scoping matrix
-//! (which crates / file kinds a rule applies to) lives in [`crate::scope`].
+//! Every lexical rule receives lines that have already had comments and
+//! string literals blanked out by the tokenizer, so the matching here can
+//! stay simple without producing false positives from prose. R8 consumes
+//! [`crate::parser`] facts instead — wildcard detection needs real arm
+//! structure, not line patterns. The scoping matrix (which crates / file
+//! kinds a rule applies to) lives in [`crate::scope`].
+//!
+//! Rules here report *raw* findings: inline suppressions are applied by the
+//! caller ([`crate::scan_workspace`] / [`crate::scan_source`]), which also
+//! tracks which suppressions actually absorbed something — a dead
+//! `allow(...)` is itself a finding.
 
+use crate::cache::{FileAnalysis, SuppressionSite};
 use crate::diag::{Diagnostic, Rule, Severity};
+use crate::parser::FileFacts;
 use crate::scope::FileInfo;
 use crate::tokenizer::SourceFile;
 
-/// Runs every applicable rule over one tokenized file.
-pub fn check_file(info: &FileInfo, src: &SourceFile) -> Vec<Diagnostic> {
+/// Runs every applicable per-file rule; returns raw findings with inline
+/// suppressions NOT yet applied.
+pub fn local_rules(info: &FileInfo, src: &SourceFile, facts: &FileFacts) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     if crate::scope::r1_applies(info) {
         r1_unit_safety(info, src, &mut out);
@@ -27,32 +38,48 @@ pub fn check_file(info: &FileInfo, src: &SourceFile) -> Vec<Diagnostic> {
     if crate::scope::r5_applies(info) {
         r5_determinism(info, src, &mut out);
     }
-    // Inline suppressions are resolved here so every rule gets them for
-    // free; the caller only ever sees surviving diagnostics plus a count.
-    out.retain(|d| !src.is_suppressed(d.line, d.rule));
+    if crate::scope::r8_applies(info) {
+        r8_enum_exhaustiveness(info, src, facts, &mut out);
+    }
     out
 }
 
-/// Counts how many raw findings inline suppressions absorbed (for the
-/// summary line; recomputed because `check_file` drops them).
-pub fn count_suppressed(info: &FileInfo, src: &SourceFile) -> usize {
-    let mut out = Vec::new();
-    if crate::scope::r1_applies(info) {
-        r1_unit_safety(info, src, &mut out);
+/// Tokenizes + parses + rules one file into the cacheable analysis record:
+/// raw local findings, suppression sites, and the function/enum facts the
+/// workspace rules (R6/R7) need.
+pub fn analyze_file(info: &FileInfo, source: &str) -> FileAnalysis {
+    let src = crate::tokenizer::tokenize(source);
+    let facts = crate::parser::parse(&src);
+    let raw_diags = local_rules(info, &src, &facts);
+    let mut suppressions: Vec<SuppressionSite> = src
+        .suppressions
+        .iter()
+        .flat_map(|(&line, sups)| {
+            sups.iter().map(move |s| SuppressionSite {
+                line,
+                rules: s.rules.clone(),
+            })
+        })
+        .collect();
+    suppressions.sort_by(|a, b| (a.line, &a.rules).cmp(&(b.line, &b.rules)));
+    let fns = facts
+        .fns
+        .into_iter()
+        .map(|mut f| {
+            // Field/macro facts are only consumed at parse time; dropping
+            // them keeps cache entries small.
+            f.fields = Vec::new();
+            f.macros = Vec::new();
+            f
+        })
+        .collect();
+    let enums = facts.enums.into_iter().map(|e| e.name).collect();
+    FileAnalysis {
+        raw_diags,
+        suppressions,
+        fns,
+        enums,
     }
-    if crate::scope::r2_applies(info) {
-        r2_panic_freedom(info, src, &mut out);
-    }
-    if crate::scope::r3_applies(info) {
-        r3_actuator_containment(info, src, &mut out);
-    }
-    if crate::scope::r4_applies(info) {
-        r4_float_hygiene(info, src, &mut out);
-    }
-    if crate::scope::r5_applies(info) {
-        r5_determinism(info, src, &mut out);
-    }
-    out.iter().filter(|d| src.is_suppressed(d.line, d.rule)).count()
 }
 
 fn diag(rule: Rule, info: &FileInfo, line_idx: usize, snippet: &str, message: String) -> Diagnostic {
@@ -473,6 +500,60 @@ fn r5_determinism(info: &FileInfo, src: &SourceFile, out: &mut Vec<Diagnostic>) 
     }
 }
 
+// ---------------------------------------------------------------- R8 ----
+
+/// R8: no wildcard `_ =>` arm in a match that also names a safety-critical
+/// enum. The heuristic: an arm pattern containing `Enum::Variant` with
+/// `Enum` in [`crate::scope::R8_ENUMS`] marks the match as a safety-enum
+/// dispatch; a bare `_` arm (guarded or not) in the same match then hides
+/// future variants. Arms belong to their innermost match, so an inner
+/// tuple/Option match with a legitimate wildcard does not poison the outer
+/// safety-enum dispatch (and vice versa).
+fn r8_enum_exhaustiveness(
+    info: &FileInfo,
+    src: &SourceFile,
+    facts: &FileFacts,
+    out: &mut Vec<Diagnostic>,
+) {
+    for m in &facts.matches {
+        if m.is_test {
+            continue;
+        }
+        let mut heads: Vec<&str> = m
+            .arms
+            .iter()
+            .flat_map(|a| a.enum_heads.iter())
+            .map(String::as_str)
+            .filter(|h| crate::scope::R8_ENUMS.contains(h))
+            .collect();
+        heads.sort_unstable();
+        heads.dedup();
+        if heads.is_empty() {
+            continue;
+        }
+        for arm in m.arms.iter().filter(|a| a.wildcard) {
+            let raw = src
+                .lines
+                .get(arm.line.saturating_sub(1))
+                .map(|l| l.raw.trim().to_string())
+                .unwrap_or_else(|| arm.pat.clone());
+            out.push(Diagnostic {
+                rule: Rule::EnumExhaustiveness,
+                severity: Severity::Error,
+                file: info.rel.clone(),
+                line: arm.line,
+                snippet: raw,
+                message: format!(
+                    "wildcard `_ =>` arm in a match over safety enum {}; name the \
+                     remaining variants so adding one is a compile error, not a \
+                     silently-ignored attack mode",
+                    heads.join("/"),
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,7 +562,65 @@ mod tests {
 
     fn check(path: &str, src: &str) -> Vec<Diagnostic> {
         let info = classify(path);
-        check_file(&info, &tokenize(src))
+        let file = tokenize(src);
+        let facts = crate::parser::parse(&file);
+        let mut out = local_rules(&info, &file, &facts);
+        out.retain(|d| !file.is_suppressed(d.line, d.rule));
+        out
+    }
+
+    #[test]
+    fn r8_flags_wildcard_over_safety_enum() {
+        let d = check(
+            "crates/core/src/x.rs",
+            "fn f(t: AttackType) -> u8 {\n  match t {\n    AttackType::Acceleration => 1,\n    _ => 0,\n  }\n}\n",
+        );
+        assert_eq!(
+            d.iter().filter(|d| d.rule == Rule::EnumExhaustiveness).count(),
+            1,
+            "{d:?}"
+        );
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn r8_ignores_non_safety_enums_tests_and_inner_matches() {
+        // Wildcard over a non-safety enum: fine.
+        let d = check(
+            "crates/core/src/x.rs",
+            "fn f(p: Payload) -> u8 {\n  match p {\n    Payload::Tick => 1,\n    _ => 0,\n  }\n}\n",
+        );
+        assert!(d.iter().all(|d| d.rule != Rule::EnumExhaustiveness), "{d:?}");
+        // Inner tuple match with a wildcard nested under safety-enum arms:
+        // the wildcard belongs to the inner match, no finding.
+        let d = check(
+            "crates/core/src/x.rs",
+            "fn f(a: AttackAction, x: Option<u8>) -> bool {\n\
+             match a {\n\
+               AttackAction::Accelerate => match (x, x) {\n\
+                 (Some(_), Some(_)) => true,\n\
+                 _ => false,\n\
+               },\n\
+               AttackAction::Decelerate => false,\n\
+               AttackAction::Steer(_) => false,\n\
+             }\n}\n",
+        );
+        assert!(d.iter().all(|d| d.rule != Rule::EnumExhaustiveness), "{d:?}");
+        // Test code is exempt.
+        let d = check(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n  fn f(t: AttackType) -> u8 {\n    match t { AttackType::Acceleration => 1, _ => 0 }\n  }\n}\n",
+        );
+        assert!(d.iter().all(|d| d.rule != Rule::EnumExhaustiveness), "{d:?}");
+    }
+
+    #[test]
+    fn r8_wildcard_respects_inline_allow() {
+        let d = check(
+            "crates/core/src/x.rs",
+            "fn f(t: AttackType) -> u8 {\n  match t {\n    AttackType::Acceleration => 1,\n    _ => 0, // adas-lint: allow(R8, reason = \"forward-compat shim\")\n  }\n}\n",
+        );
+        assert!(d.iter().all(|d| d.rule != Rule::EnumExhaustiveness), "{d:?}");
     }
 
     #[test]

@@ -57,6 +57,20 @@ pub const R3_ALLOWED_PATHS: [&str; 4] = [
 /// design, and the lint itself is tooling outside the simulation.
 pub const R5_EXEMPT_CRATES: [&str; 2] = ["bench", "lint"];
 
+/// Safety-critical enums R8 requires exhaustive matching on. Adding a
+/// variant to any of these (a new attack type, a new hazard class) must be
+/// a compile-time event at every consumer — a `_ =>` arm would silently
+/// swallow it, which is exactly how a new attack mode escapes the safety
+/// layer or the detector.
+pub const R8_ENUMS: [&str; 6] = [
+    "AttackType",
+    "AttackAction",
+    "SteerDirection",
+    "AlertKind",
+    "HazardKind",
+    "AccidentKind",
+];
+
 /// Classifies a workspace-relative path.
 pub fn classify(rel: &str) -> FileInfo {
     let rel = rel.replace('\\', "/");
@@ -108,6 +122,12 @@ pub fn r4_applies(info: &FileInfo) -> bool {
 pub fn r5_applies(info: &FileInfo) -> bool {
     matches!(info.kind, FileKind::Lib | FileKind::Bin | FileKind::Example)
         && !R5_EXEMPT_CRATES.contains(&info.crate_name.as_str())
+}
+
+/// R8 covers all non-test code in every crate: a wildcard over a safety
+/// enum is dangerous wherever it appears.
+pub fn r8_applies(info: &FileInfo) -> bool {
+    matches!(info.kind, FileKind::Lib | FileKind::Bin | FileKind::Example)
 }
 
 #[cfg(test)]

@@ -365,7 +365,14 @@ fn mark_test_regions(lines: &mut [Line]) {
 }
 
 /// Parses `adas-lint: allow(R2, reason = "…")` out of a comment's text.
+///
+/// Doc comments (`///`, `//!`) never suppress: they *document* the syntax
+/// (this very file does), and a doc-comment "suppression" would otherwise
+/// immediately trip the dead-suppression check.
 fn parse_suppression(comment: &str) -> Option<Suppression> {
+    if comment.starts_with("///") || comment.starts_with("//!") {
+        return None;
+    }
     let rest = comment.split("adas-lint:").nth(1)?.trim_start();
     let rest = rest.strip_prefix("allow")?.trim_start();
     let inner = rest.strip_prefix('(')?;
@@ -464,5 +471,14 @@ mod tests {
         assert!(f.is_suppressed(1, Rule::PanicFreedom));
         assert!(!f.is_suppressed(1, Rule::FloatHygiene));
         assert!(f.is_suppressed(3, Rule::FloatHygiene));
+    }
+
+    #[test]
+    fn doc_comments_document_but_never_suppress() {
+        let src = "/// Write `// adas-lint: allow(R2)` to excuse a site.\nx.unwrap();\n//! `adas-lint: allow(R2)` syntax reference\ny.unwrap();";
+        let f = tokenize(src);
+        assert!(f.suppressions.is_empty(), "{:?}", f.suppressions);
+        assert!(!f.is_suppressed(2, Rule::PanicFreedom));
+        assert!(!f.is_suppressed(4, Rule::PanicFreedom));
     }
 }

@@ -1,0 +1,137 @@
+//! Golden-fixture tests for the token-tree parser: the constructs most
+//! likely to derail a hand-rolled Rust scanner, each pinned to the exact
+//! facts the cross-file rules consume.
+
+use adas_lint::parser::{self, Callee, FileFacts};
+use adas_lint::tokenizer;
+
+fn facts(src: &str) -> FileFacts {
+    parser::parse(&tokenizer::tokenize(src))
+}
+
+/// Squeezes the space-joined token text back together for comparison.
+fn squeeze(s: &str) -> String {
+    s.replace(' ', "")
+}
+
+#[test]
+fn nested_generics_are_not_shift_operators() {
+    let f = facts(
+        "pub fn deep(vv: Vec<Vec<f64>>) -> Vec<Vec<f64>> {\n    vv\n}\nfn shifted(a: u64) -> u64 {\n    a >> 2\n}\nfn after() -> u8 {\n    0\n}\n",
+    );
+    let names: Vec<&str> = f.fns.iter().map(|d| d.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["deep", "shifted", "after"],
+        "a `>>` that closes two generics (or shifts) must not swallow the rest of the file"
+    );
+    assert_eq!(squeeze(&f.fns[0].ret), "Vec<Vec<f64>>");
+    assert_eq!(f.fns[1].ret, "u64", "`a >> 2` is a shift, not a generic");
+    assert!(f.fns[0].is_pub);
+    assert!(!f.fns[1].is_pub);
+}
+
+#[test]
+fn raw_strings_containing_fn_are_opaque() {
+    let f = facts(
+        "fn real() -> usize {\n    let s = r#\"fn fake() { x.unwrap() } panic!()\"#;\n    s.len()\n}\n",
+    );
+    assert_eq!(f.fns.len(), 1, "{:?}", f.fns);
+    assert_eq!(f.fns[0].name, "real");
+    assert!(
+        f.fns[0].panics.is_empty(),
+        "panics spelled inside a raw string are text, not code: {:?}",
+        f.fns[0].panics
+    );
+}
+
+#[test]
+fn macro_invocations_and_panic_macros_are_split() {
+    let f = facts(
+        "fn report(a: u8) {\n    println!(\"a = {}\", a);\n    if a > 250 {\n        unreachable!(\"bounded by caller\");\n    }\n}\n",
+    );
+    let fd = &f.fns[0];
+    assert!(
+        fd.macros.iter().any(|(_, m)| m == "println"),
+        "ordinary macros land in `macros`: {:?}",
+        fd.macros
+    );
+    assert_eq!(fd.panics.len(), 1, "{:?}", fd.panics);
+    assert_eq!(fd.panics[0].what, "unreachable!");
+    assert_eq!(fd.panics[0].line, 4);
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let f = facts("pub fn first<'a>(xs: &'a [f64]) -> &'a f64 {\n    &xs[0]\n}\n");
+    assert_eq!(f.fns.len(), 1, "{:?}", f.fns);
+    let fd = &f.fns[0];
+    assert_eq!(fd.name, "first");
+    assert!(fd.is_pub);
+    assert!(
+        squeeze(&fd.ret).contains("f64"),
+        "return type survives the lifetime: {:?}",
+        fd.ret
+    );
+}
+
+#[test]
+fn where_clauses_do_not_leak_into_the_body() {
+    let f = facts(
+        "pub fn dup<T>(t: T) -> Vec<T>\nwhere\n    T: Clone,\n{\n    let c = t.clone();\n    vec![t, c]\n}\n",
+    );
+    assert_eq!(f.fns.len(), 1, "{:?}", f.fns);
+    let fd = &f.fns[0];
+    assert_eq!(squeeze(&fd.ret), "Vec<T>", "ret stops at the where clause");
+    assert!(
+        fd.calls
+            .iter()
+            .any(|c| c.callee == Callee::Method("clone".into())),
+        "body calls are still collected: {:?}",
+        fd.calls
+    );
+}
+
+#[test]
+fn impl_methods_are_qualified() {
+    let f = facts(
+        "impl Harness {\n    pub fn step(&mut self) {\n        self.engine.observe();\n        helper();\n    }\n}\nfn helper() {}\n",
+    );
+    assert_eq!(f.fns[0].qual, "Harness::step");
+    assert_eq!(f.fns[0].impl_type.as_deref(), Some("Harness"));
+    assert_eq!(f.fns[1].qual, "helper");
+    let callees: Vec<&str> = f.fns[0].calls.iter().map(|c| c.callee.name()).collect();
+    assert_eq!(callees, ["observe", "helper"]);
+}
+
+#[test]
+fn match_arms_carry_enum_heads_and_wildcards() {
+    let f = facts(
+        "fn act(t: AttackType) -> u8 {\n    match t {\n        AttackType::Acceleration => 1,\n        AttackType::Deceleration if hard() => 2,\n        _ => 0,\n    }\n}\n",
+    );
+    assert_eq!(f.matches.len(), 1, "{:?}", f.matches);
+    let m = &f.matches[0];
+    assert_eq!(m.scrutinee, "t");
+    assert_eq!(m.arms.len(), 3);
+    assert!(m.arms[0].enum_heads.contains(&"AttackType".to_string()));
+    assert!(!m.arms[0].wildcard);
+    assert!(
+        !m.arms[1].wildcard,
+        "a guarded variant arm is not a wildcard"
+    );
+    assert!(m.arms[2].wildcard, "{:?}", m.arms[2]);
+}
+
+#[test]
+fn enums_and_structs_are_catalogued() {
+    let f = facts(
+        "pub enum AlertKind {\n    SteerSaturated,\n    ForwardCollisionWarning,\n}\npub struct Harness {\n    tick: u64,\n}\n",
+    );
+    assert_eq!(f.enums.len(), 1);
+    assert_eq!(f.enums[0].name, "AlertKind");
+    assert_eq!(
+        f.enums[0].variants,
+        ["SteerSaturated", "ForwardCollisionWarning"]
+    );
+    assert!(f.structs.contains(&"Harness".to_string()));
+}

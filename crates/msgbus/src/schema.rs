@@ -106,8 +106,12 @@ pub struct CarControl {
 }
 
 /// Alerts the ADAS can raise to the driver.
+///
+/// Deliberately *exhaustive* (unlike [`Payload`]): alert kinds are a
+/// safety-critical vocabulary, and adas-lint's R8 requires every consumer
+/// to name each variant — adding an alert must be a compile-time event at
+/// every match, never absorbed by a `_ =>` arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[non_exhaustive]
 pub enum AlertKind {
     /// The lateral controller wants more steering than the safety limit
     /// allows (`steerSaturated`). The only alert the paper observed during

@@ -35,6 +35,7 @@ impl Kalman1D {
     /// # Panics
     ///
     /// Panics if `q`, `r` or `p0` are not positive.
+    // adas-lint: allow(R1, reason = "filter is quantity-generic: it smooths speeds for the ADAS and predictions for the attack engine; x0 is in the caller's unit, p0/q/r are variances (dimensionless here)")
     pub fn new(x0: f64, p0: f64, q: f64, r: f64) -> Self {
         assert!(p0 > 0.0 && q > 0.0 && r > 0.0, "variances must be positive");
         Self {
@@ -47,23 +48,27 @@ impl Kalman1D {
     }
 
     /// Current state estimate.
+    // adas-lint: allow(R1, reason = "estimate is in whatever unit the caller filters; wrapping it would pin the filter to one quantity")
     pub fn estimate(&self) -> f64 {
         self.x
     }
 
     /// Current estimate variance.
+    // adas-lint: allow(R1, reason = "variance of the filtered quantity; squared-unit newtypes do not exist in units::")
     pub fn variance(&self) -> f64 {
         self.p
     }
 
     /// The Kalman gain used by the most recent [`Self::update`] — the
     /// `K_t` of the paper's Eq. 3.
+    // adas-lint: allow(R1, reason = "Kalman gain K_t is a dimensionless blend factor in [0, 1]")
     pub fn last_gain(&self) -> f64 {
         self.last_gain
     }
 
     /// Time-update: shifts the state by a known control increment `du`
     /// (e.g. `accel * dt`) and inflates the variance.
+    // adas-lint: allow(R1, reason = "control increment in the caller's unit (e.g. accel*dt as m/s); the filter stays quantity-generic")
     pub fn predict(&mut self, du: f64) {
         self.x += du;
         self.p += self.q;
@@ -71,6 +76,7 @@ impl Kalman1D {
 
     /// Measurement-update: fuses measurement `z`, returning the new
     /// estimate. Implements `x <- x + K (z - x)`.
+    // adas-lint: allow(R1, reason = "measurement and estimate are in the caller's unit; the filter stays quantity-generic")
     pub fn update(&mut self, z: f64) -> f64 {
         let k = self.p / (self.p + self.r);
         self.last_gain = k;
