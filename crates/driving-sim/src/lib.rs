@@ -58,6 +58,6 @@ pub use neighbor::NeighborTraffic;
 pub use noise::OrnsteinUhlenbeck;
 pub use road::Road;
 pub use scenario::{Scenario, ScenarioId, INITIAL_GAPS};
-pub use sensors::{SensorSuite, RADAR_RANGE};
+pub use sensors::{SensorFrame, SensorSuite, RADAR_RANGE};
 pub use vehicle::{ActuatorCommand, Vehicle, VehicleParams};
 pub use world::World;

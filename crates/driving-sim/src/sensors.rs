@@ -21,7 +21,7 @@ use crate::World;
 pub const RADAR_RANGE: Distance = Distance::meters(150.0);
 
 /// One synchronized reading of all sensors.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SensorFrame {
     /// GPS sample.
     pub gps: GpsLocation,

@@ -62,13 +62,15 @@ pub const R5_EXEMPT_CRATES: [&str; 2] = ["bench", "lint"];
 /// a compile-time event at every consumer — a `_ =>` arm would silently
 /// swallow it, which is exactly how a new attack mode escapes the safety
 /// layer or the detector.
-pub const R8_ENUMS: [&str; 6] = [
+pub const R8_ENUMS: [&str; 8] = [
     "AttackType",
     "AttackAction",
     "SteerDirection",
     "AlertKind",
     "HazardKind",
     "AccidentKind",
+    "DegradationState",
+    "FaultKind",
 ];
 
 /// Classifies a workspace-relative path.

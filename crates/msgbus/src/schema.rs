@@ -123,6 +123,13 @@ pub enum AlertKind {
     ForwardCollisionWarning,
     /// Driver-monitoring distraction warning.
     DriverDistracted,
+    /// The ADAS has degraded (lost a required sensor stream) and switched
+    /// off part of its functionality; the driver should prepare to take
+    /// over.
+    AdasDegraded,
+    /// Persistent input loss: the ADAS is executing a controlled fail-safe
+    /// stop and the driver must take over immediately.
+    FailSafeStop,
 }
 
 impl AlertKind {
@@ -132,6 +139,8 @@ impl AlertKind {
             AlertKind::SteerSaturated => "steer saturated",
             AlertKind::ForwardCollisionWarning => "forward collision warning",
             AlertKind::DriverDistracted => "driver distracted",
+            AlertKind::AdasDegraded => "ADAS degraded",
+            AlertKind::FailSafeStop => "fail-safe stop",
         }
     }
 }
@@ -216,6 +225,8 @@ mod tests {
             AlertKind::SteerSaturated.label(),
             AlertKind::ForwardCollisionWarning.label(),
             AlertKind::DriverDistracted.label(),
+            AlertKind::AdasDegraded.label(),
+            AlertKind::FailSafeStop.label(),
         ];
         for (i, a) in labels.iter().enumerate() {
             for b in &labels[i + 1..] {

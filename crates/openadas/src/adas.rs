@@ -8,9 +8,10 @@ use units::{Accel, Speed, Tick};
 
 use crate::acc::AccOutput;
 use crate::alc::AlcOutput;
+use crate::degradation::{FAILSAFE_BRAKE, GENTLE_BRAKE};
 use crate::{
-    AccController, AlcController, AlertManager, CarStateEstimator, CommandEncoder, LaneProcessor,
-    LeadTracker,
+    AccController, AlcController, AlertManager, CarStateEstimator, CommandEncoder,
+    DegradationMonitor, DegradationState, LaneProcessor, LeadTracker,
 };
 
 /// Everything the ADAS produced in one control cycle.
@@ -28,6 +29,8 @@ pub struct AdasOutput {
     pub acc: AccOutput,
     /// Lateral controller internals (desired vs. commanded, saturation).
     pub alc: AlcOutput,
+    /// Where the ADAS sits on the degradation ladder this cycle.
+    pub degradation: DegradationState,
 }
 
 impl Default for AdasOutput {
@@ -46,6 +49,7 @@ impl Default for AdasOutput {
                 command: units::Angle::ZERO,
                 saturated: false,
             },
+            degradation: DegradationState::Nominal,
         }
     }
 }
@@ -68,6 +72,7 @@ pub struct Adas {
     acc: AccController,
     alc: AlcController,
     alerts: AlertManager,
+    degradation: DegradationMonitor,
     encoder: CommandEncoder,
     last_control: CarControl,
     /// Drain scratch, reused every cycle so steady-state ticks stay
@@ -90,6 +95,7 @@ impl Adas {
             acc: AccController::new(),
             alc: AlcController::new(),
             alerts: AlertManager::new(),
+            degradation: DegradationMonitor::new(),
             encoder: CommandEncoder::new(),
             last_control: CarControl::default(),
             scratch: Vec::new(),
@@ -117,6 +123,11 @@ impl Adas {
         self.alerts.fcw_events()
     }
 
+    /// Where the ADAS currently sits on the degradation ladder.
+    pub fn degradation(&self) -> DegradationState {
+        self.degradation.state()
+    }
+
     /// Runs one control cycle: drains sensor messages, updates estimators,
     /// computes ACC + ALC, raises alerts, publishes state and returns the
     /// actuator frames.
@@ -131,37 +142,67 @@ impl Adas {
     /// same [`AdasOutput`] back every cycle pays for the buffers once and
     /// then runs the whole control loop without touching the heap.
     pub fn step_into(&mut self, tick: Tick, out: &mut AdasOutput) {
-        // Latest-sample-wins, like a real 100 Hz control loop.
+        // Latest-sample-wins, like a real 100 Hz control loop. Each stream
+        // also feeds its staleness watchdog: a tick with no message at all
+        // is a module-level outage, distinct from a message reporting "no
+        // detection".
+        let mut gps_fresh = false;
         self.gps_sub.drain_into(&mut self.scratch);
         for env in &self.scratch {
             if let Payload::GpsLocationExternal(gps) = env.payload() {
                 self.state.update(gps, self.last_control.steer);
+                gps_fresh = true;
             }
         }
+        let mut cam_fresh = false;
         self.model_sub.drain_into(&mut self.scratch);
         for env in &self.scratch {
             if let Payload::ModelV2(model) = env.payload() {
                 self.lanes.update(model);
+                cam_fresh = true;
             }
         }
+        let mut radar_fresh = false;
         self.radar_sub.drain_into(&mut self.scratch);
         for env in &self.scratch {
             if let Payload::RadarState(radar) = env.payload() {
                 self.leads.update(radar);
+                radar_fresh = true;
             }
         }
+
+        // Coast the estimators through the outage: lane confidence decays,
+        // the lead track holds-then-invalidates instead of freezing stale.
+        if !cam_fresh {
+            self.lanes.coast();
+        }
+        if !radar_fresh {
+            self.leads.coast();
+        }
+        let degradation_alert = self.degradation.step(gps_fresh, cam_fresh, radar_fresh);
+        let degradation = self.degradation.state();
 
         let car = self.state.state();
         let lead = self.leads.lead();
         let engaged = self.state.engaged();
 
         let acc_out = self.acc.control(&car, lead.as_ref());
-        let alc_out = self.alc.control(&self.lanes.estimate());
+        let lane_est = self.lanes.estimate();
+        let alc_out = self.alc.control(&lane_est);
 
         let control = if engaged {
+            // Fail-closed authority: ACC output is replaced by a fixed
+            // brake on the degraded rungs, and steering authority scales
+            // with lane confidence (exactly 1.0 while the camera is
+            // healthy, so nominal runs are bit-identical).
+            let accel = match degradation {
+                DegradationState::Nominal | DegradationState::DegradedAlcOff => acc_out.command,
+                DegradationState::DegradedAccOff => GENTLE_BRAKE,
+                DegradationState::FailSafe => FAILSAFE_BRAKE,
+            };
             CarControl {
-                accel: acc_out.command,
-                steer: alc_out.command,
+                accel,
+                steer: alc_out.command * lane_est.confidence,
             }
         } else {
             CarControl::default()
@@ -171,6 +212,9 @@ impl Adas {
         let brake = control.accel.min(Accel::ZERO);
         self.alerts
             .step_into(engaged && alc_out.saturated, brake, &mut out.new_alerts);
+        if let Some(kind) = degradation_alert {
+            out.new_alerts.push(kind);
+        }
 
         // Publish the internal state the attacker can observe. Cloning an
         // empty alert list is allocation-free, and alert ticks are rare.
@@ -194,6 +238,7 @@ impl Adas {
         out.engaged = engaged;
         out.acc = acc_out;
         out.alc = alc_out;
+        out.degradation = degradation;
     }
 }
 

@@ -106,6 +106,7 @@ mod tests {
             curvature,
             left_line: Distance::meters(1.85 - offset),
             right_line: Distance::meters(1.85 + offset),
+            confidence: 1.0,
         }
     }
 

@@ -28,6 +28,18 @@ pub struct Kalman1D {
     last_gain: f64,
 }
 
+/// Covariance floor: repeated measurement updates shrink `p`
+/// geometrically and would eventually underflow to a denormal (or zero,
+/// making the filter deaf to all future measurements). Far below any
+/// operating variance, so the clamp is a no-op in normal service.
+const P_MIN: f64 = 1e-9;
+
+/// Covariance ceiling: unbounded prediction-only operation (e.g. a radar
+/// that never returns) grows `p` without limit, and a later measurement
+/// would be fused with a gain of exactly 1.0 computed from a near-overflow
+/// ratio. Far above any operating variance.
+const P_MAX: f64 = 1e9;
+
 impl Kalman1D {
     /// Creates a filter with initial state `x0`, initial variance `p0`,
     /// process noise `q` and measurement noise `r` (both variances).
@@ -68,20 +80,31 @@ impl Kalman1D {
 
     /// Time-update: shifts the state by a known control increment `du`
     /// (e.g. `accel * dt`) and inflates the variance.
+    ///
+    /// A non-finite `du` is ignored (the variance still inflates): a
+    /// corrupted control input must not poison the state estimate.
     // adas-lint: allow(R1, reason = "control increment in the caller's unit (e.g. accel*dt as m/s); the filter stays quantity-generic")
     pub fn predict(&mut self, du: f64) {
-        self.x += du;
-        self.p += self.q;
+        if du.is_finite() {
+            self.x += du;
+        }
+        self.p = (self.p + self.q).clamp(P_MIN, P_MAX);
     }
 
     /// Measurement-update: fuses measurement `z`, returning the new
     /// estimate. Implements `x <- x + K (z - x)`.
+    ///
+    /// A non-finite `z` is rejected outright — state, variance and gain are
+    /// left untouched, as if no measurement had arrived.
     // adas-lint: allow(R1, reason = "measurement and estimate are in the caller's unit; the filter stays quantity-generic")
     pub fn update(&mut self, z: f64) -> f64 {
+        if !z.is_finite() {
+            return self.x;
+        }
         let k = self.p / (self.p + self.r);
         self.last_gain = k;
         self.x += k * (z - self.x);
-        self.p *= 1.0 - k;
+        self.p = (self.p * (1.0 - k)).clamp(P_MIN, P_MAX);
         self.x
     }
 }
@@ -147,5 +170,61 @@ mod tests {
     #[should_panic(expected = "variances must be positive")]
     fn rejects_non_positive_variance() {
         let _ = Kalman1D::new(0.0, 0.0, 0.01, 0.1);
+    }
+
+    #[test]
+    fn covariance_never_collapses_under_relentless_updates() {
+        // Updates without interleaved predicts shrink p geometrically;
+        // without the floor it underflows to a denormal and the gain pins
+        // to ~0 forever. Regression test for the radar-loss audit.
+        let mut kf = Kalman1D::new(10.0, 1.0, 1e-4, 0.25);
+        for _ in 0..1_000_000 {
+            kf.update(10.0);
+        }
+        assert!(kf.variance().is_finite());
+        assert!(kf.variance() >= P_MIN);
+        // The filter must still respond to a fresh measurement.
+        kf.predict(0.0);
+        kf.update(12.0);
+        assert!(kf.last_gain() > 0.0);
+    }
+
+    #[test]
+    fn covariance_never_diverges_under_relentless_predicts() {
+        // Prediction-only operation (radar silent for the whole run and
+        // beyond) inflates p linearly; the ceiling keeps it finite and the
+        // next real measurement numerically sane.
+        let mut kf = Kalman1D::new(10.0, 1.0, 1e6, 0.25);
+        for _ in 0..1_000_000 {
+            kf.predict(0.0);
+        }
+        assert!(kf.variance().is_finite());
+        assert!(kf.variance() <= P_MAX);
+        let est = kf.update(11.0);
+        assert!(est.is_finite());
+        assert!((est - 11.0).abs() < 1e-6, "stale prior yields gain ~1");
+    }
+
+    #[test]
+    fn non_finite_measurement_is_rejected() {
+        let mut kf = Kalman1D::new(5.0, 1.0, 0.01, 0.1);
+        kf.predict(0.0);
+        let snapshot =
+            |kf: &Kalman1D| (kf.estimate().to_bits(), kf.variance().to_bits(), kf.last_gain().to_bits());
+        let before = snapshot(&kf);
+        assert!((kf.update(f64::NAN) - 5.0).abs() < 1e-12);
+        assert!((kf.update(f64::INFINITY) - 5.0).abs() < 1e-12);
+        assert!((kf.update(f64::NEG_INFINITY) - 5.0).abs() < 1e-12);
+        assert_eq!(before, snapshot(&kf), "rejected measurements leave no trace");
+    }
+
+    #[test]
+    fn non_finite_control_is_ignored() {
+        let mut kf = Kalman1D::new(5.0, 1.0, 0.01, 0.1);
+        kf.predict(f64::NAN);
+        assert!((kf.estimate() - 5.0).abs() < 1e-12);
+        assert!(kf.variance().is_finite(), "variance still inflates, finitely");
+        kf.predict(f64::INFINITY);
+        assert!(kf.estimate().is_finite());
     }
 }

@@ -32,6 +32,7 @@ mod aeb;
 mod alc;
 mod alerts;
 mod controls;
+mod degradation;
 mod kalman;
 mod panda;
 mod perception;
@@ -45,6 +46,10 @@ pub use adas::{Adas, AdasOutput};
 pub use alc::{AlcController, AlcOutput};
 pub use alerts::AlertManager;
 pub use controls::CommandEncoder;
+pub use degradation::{
+    DegradationMonitor, DegradationState, DEGRADE_AFTER, FAILSAFE_AFTER, FAILSAFE_BRAKE,
+    GENTLE_BRAKE, RECOVERY_TICKS,
+};
 pub use kalman::Kalman1D;
 pub use panda::{PandaSafety, PandaVerdict};
 pub use perception::{LaneEstimate, LaneProcessor};

@@ -22,6 +22,13 @@ pub struct LaneEstimate {
     pub left_line: Distance,
     /// Smoothed distance from the ego centreline to the right lane line.
     pub right_line: Distance,
+    /// Confidence in the estimate, in `[0, 1]`: 1.0 while `modelV2`
+    /// samples keep arriving, decaying toward 0 during a camera outage
+    /// (see [`LaneProcessor::coast`]). The lateral controller scales its
+    /// steering authority by this factor, so a stale lane model fades out
+    /// instead of steering on ghosts. `Default` is 0.0: a never-updated
+    /// estimate carries no authority.
+    pub confidence: f64,
 }
 
 /// Low-pass filter over the `modelV2` stream.
@@ -68,6 +75,7 @@ impl LaneProcessor {
                 curvature: model.curvature,
                 left_line: model.left_line,
                 right_line: model.right_line,
+                confidence: 1.0,
             };
             self.initialized = true;
             return self.est;
@@ -96,10 +104,25 @@ impl LaneProcessor {
                 model.right_line.raw(),
                 self.alpha,
             )),
+            confidence: 1.0,
         };
         self.est
     }
+
+    /// Advances the estimate one tick with *no* `modelV2` sample (camera
+    /// outage). The geometry holds at its last value while the confidence
+    /// decays toward zero with a [`CONFIDENCE_DECAY_TC`] time-constant —
+    /// lane-keeping authority fades smoothly instead of snapping off or
+    /// steering on stale lines.
+    pub fn coast(&mut self) {
+        self.est.confidence = (self.est.confidence - DT.secs() / CONFIDENCE_DECAY_TC).max(0.0);
+    }
 }
+
+/// Seconds for lane confidence to decay from 1.0 to 0.0 during a camera
+/// outage (linear ramp): half a second of blind lane-keeping on coasted
+/// geometry, matching the camera staleness watchdog's escalation window.
+pub const CONFIDENCE_DECAY_TC: f64 = 0.5;
 
 #[cfg(test)]
 #[allow(clippy::float_cmp)] // tests assert exactly-representable values
@@ -168,5 +191,29 @@ mod tests {
             "single glitch moves the estimate only slightly, got {}",
             est.offset
         );
+    }
+
+    #[test]
+    fn confidence_decays_on_coast_and_recovers_on_update() {
+        let mut p = LaneProcessor::new();
+        assert_eq!(p.estimate().confidence, 0.0, "no authority before data");
+        p.update(&model(0.0, 0.0));
+        assert_eq!(p.estimate().confidence, 1.0);
+        // Half the decay window: about half the confidence is left, and the
+        // geometry holds.
+        for _ in 0..25 {
+            p.coast();
+        }
+        let est = p.estimate();
+        assert!((est.confidence - 0.5).abs() < 0.05, "got {}", est.confidence);
+        assert_eq!(est.offset.raw(), 0.0);
+        // Past the window: pinned at zero, never negative.
+        for _ in 0..100 {
+            p.coast();
+        }
+        assert_eq!(p.estimate().confidence, 0.0);
+        // One fresh sample restores full authority.
+        p.update(&model(0.0, 0.0));
+        assert_eq!(p.estimate().confidence, 1.0);
     }
 }

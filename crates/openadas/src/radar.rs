@@ -102,6 +102,30 @@ impl LeadTracker {
         }
         self.lead()
     }
+
+    /// Advances the track one tick with *no* radar message at all — the
+    /// radar module went silent, as opposed to a received `radarState`
+    /// carrying no detection (that is [`Self::update`] with `lead: None`).
+    ///
+    /// The filters coast: the state holds while the variance inflates, so a
+    /// reading after a short outage is fused with an honestly low
+    /// confidence. After the same [`MAX_DROPOUT`] window as a detection
+    /// loss, the track is invalidated — coast-then-invalidate, never
+    /// coast-forever.
+    pub fn coast(&mut self) {
+        if let Some(d) = self.dist.as_mut() {
+            d.predict(0.0);
+        }
+        if let Some(v) = self.speed.as_mut() {
+            v.predict(0.0);
+        }
+        self.dropout = self.dropout.saturating_add(1);
+        if self.dropout > MAX_DROPOUT {
+            self.dist = None;
+            self.speed = None;
+            self.confirm = 0;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -164,5 +188,38 @@ mod tests {
             assert!(t.update(&sample(30.0, 10.0)).is_none(), "sample {i}");
         }
         assert!(t.update(&sample(30.0, 10.0)).is_some());
+    }
+
+    #[test]
+    fn coast_holds_then_invalidates() {
+        let mut t = LeadTracker::new();
+        for _ in 0..20 {
+            t.update(&sample(42.0, 18.0));
+        }
+        let before = t.lead().unwrap();
+        // Short silence: the estimate coasts, essentially unchanged.
+        for _ in 0..MAX_DROPOUT {
+            t.coast();
+        }
+        let coasted = t.lead().expect("track survives the coast window");
+        assert!((coasted.d_rel.raw() - before.d_rel.raw()).abs() < 1e-9);
+        // One tick past the window: fail closed, no stale lead.
+        t.coast();
+        assert!(t.lead().is_none());
+    }
+
+    #[test]
+    fn coast_inflates_variance_for_reacquisition() {
+        let mut t = LeadTracker::new();
+        for _ in 0..100 {
+            t.update(&sample(42.0, 18.0));
+        }
+        for _ in 0..10 {
+            t.coast();
+        }
+        // The post-outage measurement is trusted more than the coasted
+        // prior: the estimate jumps most of the way to the new reading.
+        let est = t.update(&sample(45.0, 18.0)).unwrap();
+        assert!(est.d_rel.raw() > 43.5, "fresh reading dominates: {}", est.d_rel.raw());
     }
 }

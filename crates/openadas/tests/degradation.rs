@@ -1,0 +1,135 @@
+//! Property-style tests on the degradation watchdog/state machine.
+//!
+//! Two safety properties the resilience story rests on:
+//!
+//! 1. **Bounded time to FailSafe**: from *any* prior fault pattern, once an
+//!    input stream is persistently lost the monitor reaches
+//!    [`DegradationState::FailSafe`] within a bounded number of ticks — no
+//!    pattern of flapping history can postpone the controlled stop.
+//! 2. **Full-hysteresis recovery**: leaving a degraded state takes the
+//!    complete [`RECOVERY_TICKS`] window of all-healthy input, and the
+//!    ladder never flaps — once degraded, the only transition a recovery
+//!    phase may produce is a single step to Nominal.
+
+use openadas::{
+    DegradationMonitor, DegradationState, DEGRADE_AFTER, FAILSAFE_AFTER, RECOVERY_TICKS,
+};
+use proptest::prelude::*;
+
+/// One tick's worth of stream health: (gps, camera, radar).
+fn tick_pattern() -> impl Strategy<Value = (bool, bool, bool)> {
+    (any::<bool>(), any::<bool>(), any::<bool>())
+}
+
+proptest! {
+    /// (a) Persistent loss of any stream subset (at least one stream down)
+    /// reaches FailSafe within FAILSAFE_AFTER ticks of the loss becoming
+    /// persistent, regardless of the fault pattern that came before.
+    #[test]
+    fn persistent_loss_reaches_failsafe_within_bound(
+        history in proptest::collection::vec(tick_pattern(), 0..400),
+        // Non-empty subset of streams to lose, as a 3-bit mask.
+        loss_mask in 1u8..8,
+    ) {
+        let (lose_gps, lose_cam, lose_radar) =
+            (loss_mask & 1 != 0, loss_mask & 2 != 0, loss_mask & 4 != 0);
+        let mut m = DegradationMonitor::new();
+        for (g, c, r) in history {
+            m.step(g, c, r);
+        }
+        let mut reached_at = None;
+        for t in 0..FAILSAFE_AFTER {
+            m.step(!lose_gps, !lose_cam, !lose_radar);
+            if m.state() == DegradationState::FailSafe {
+                reached_at = Some(t);
+                break;
+            }
+        }
+        prop_assert!(
+            reached_at.is_some(),
+            "FailSafe not reached within {FAILSAFE_AFTER} ticks of persistent loss"
+        );
+        // And FailSafe is absorbing while the loss persists.
+        for _ in 0..100 {
+            m.step(!lose_gps, !lose_cam, !lose_radar);
+            prop_assert_eq!(m.state(), DegradationState::FailSafe);
+        }
+    }
+
+    /// (b) From any degraded state, recovery needs the full hysteresis
+    /// window: the state must hold for RECOVERY_TICKS - 1 healthy ticks,
+    /// flip to Nominal exactly once, and a single unhealthy tick anywhere
+    /// in the window must reset the clock.
+    #[test]
+    fn recovery_requires_full_window_and_never_flaps(
+        history in proptest::collection::vec(tick_pattern(), 1..400),
+        spoiler in proptest::option::of(0u32..RECOVERY_TICKS),
+    ) {
+        let mut m = DegradationMonitor::new();
+        for (g, c, r) in history {
+            m.step(g, c, r);
+        }
+        // Make sure we actually start degraded (force a radar outage if the
+        // generated history happened to leave the monitor nominal).
+        if m.state() == DegradationState::Nominal {
+            for _ in 0..DEGRADE_AFTER {
+                m.step(true, true, false);
+            }
+        }
+        // One unhealthy tick zeroes the healthy streak, so the windows
+        // measured below start from a known clock (the random history may
+        // have ended mid-streak). A single silent radar tick cannot change
+        // the state on its own.
+        m.step(true, true, false);
+        let degraded = m.state();
+        prop_assert_ne!(degraded, DegradationState::Nominal);
+
+        // Phase 1: if a spoiler tick interrupts the healthy streak, the
+        // full window must not complete a recovery.
+        if let Some(at) = spoiler {
+            for t in 0..RECOVERY_TICKS {
+                let healthy = t != at;
+                m.step(healthy, healthy, healthy);
+                prop_assert_eq!(
+                    m.state(), degraded,
+                    "interrupted streak must not recover (tick {})", t
+                );
+            }
+            // Re-zero the streak left over from the interrupted window.
+            m.step(true, true, false);
+        }
+
+        // Phase 2: a clean, full window recovers exactly at its last tick,
+        // with no intermediate transitions of any kind.
+        for t in 0..(RECOVERY_TICKS - 1) {
+            m.step(true, true, true);
+            prop_assert_eq!(m.state(), degraded, "still degraded at healthy tick {}", t);
+        }
+        m.step(true, true, true);
+        prop_assert_eq!(m.state(), DegradationState::Nominal, "recovered on the final tick");
+    }
+
+    /// Escalation is monotone within any single outage: while faults
+    /// persist, the rank never decreases tick over tick.
+    #[test]
+    fn rank_is_monotone_while_unhealthy(
+        pattern in proptest::collection::vec(tick_pattern(), 1..600),
+    ) {
+        let mut m = DegradationMonitor::new();
+        let mut prev_rank = m.state().rank();
+        let mut healthy_streak = 0u32;
+        for (g, c, r) in pattern {
+            m.step(g, c, r);
+            healthy_streak = if g && c && r { healthy_streak + 1 } else { 0 };
+            let rank = m.state().rank();
+            if healthy_streak < RECOVERY_TICKS {
+                prop_assert!(
+                    rank >= prev_rank,
+                    "rank dropped {} -> {} without a full recovery window",
+                    prev_rank, rank
+                );
+            }
+            prev_rank = rank;
+        }
+    }
+}

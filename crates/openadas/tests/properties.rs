@@ -47,6 +47,7 @@ proptest! {
             curvature,
             left_line: Distance::meters(1.85 - offset),
             right_line: Distance::meters(1.85 + offset),
+            confidence: 1.0,
         };
         let out = alc.control(&lane);
         prop_assert!(out.command.degrees().abs() <= 0.5 + 1e-12);

@@ -103,6 +103,7 @@ impl RunSpec {
             defenses_enabled: self.defenses_enabled,
             hazard_params: HazardParams::default(),
             trace,
+            faults: faultinj::FaultSchedule::empty(),
         }
     }
 

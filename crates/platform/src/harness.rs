@@ -14,13 +14,14 @@ use attack_core::{AttackConfig, AttackEngine};
 use defense::{ContextMonitor, ContextObservation, ControlInvariantDetector};
 use driver_model::{Driver, DriverConfig, DriverPhase, Observation};
 use driving_sim::{ActuatorCommand, Scenario, SensorSuite, World, RADAR_RANGE};
+use faultinj::{FaultEngine, FaultSchedule};
 use msgbus::schema::CarControl;
-use msgbus::Bus;
-use openadas::{Adas, AdasOutput, CommandEncoder, PandaSafety};
+use msgbus::{Bus, Payload};
+use openadas::{Adas, AdasOutput, CommandEncoder, DegradationState, PandaSafety};
 use serde::{Deserialize, Serialize};
 use units::{Seconds, Tick};
 
-use crate::trace::{DriverPhaseCode, TickRecord, TraceConfig, TraceRecorder};
+use crate::trace::{DegradationCode, DriverPhaseCode, TickRecord, TraceConfig, TraceRecorder};
 use crate::{AccidentKind, HazardDetector, HazardKind, HazardParams};
 
 /// Configuration of one simulation run.
@@ -47,6 +48,10 @@ pub struct HarnessConfig {
     /// Flight-recorder settings. Disabled by default; when disabled the
     /// harness allocates no recorder and pays only one branch per tick.
     pub trace: TraceConfig,
+    /// Deterministic fault schedule. Empty by default; when empty the
+    /// harness attaches no fault engine and the sensor/CAN paths are
+    /// bit-identical to a fault-free build.
+    pub faults: FaultSchedule,
 }
 
 impl HarnessConfig {
@@ -61,6 +66,7 @@ impl HarnessConfig {
             defenses_enabled: false,
             hazard_params: HazardParams::default(),
             trace: TraceConfig::disabled(),
+            faults: FaultSchedule::empty(),
         }
     }
 
@@ -75,6 +81,11 @@ impl HarnessConfig {
     /// The same run with the flight recorder attached.
     pub fn traced(self, trace: TraceConfig) -> Self {
         Self { trace, ..self }
+    }
+
+    /// The same run with a fault schedule attached.
+    pub fn with_faults(self, faults: FaultSchedule) -> Self {
+        Self { faults, ..self }
     }
 }
 
@@ -114,6 +125,19 @@ pub struct SimResult {
     /// When the context-aware command monitor alarmed (defenses enabled
     /// only).
     pub monitor_detected: Option<Seconds>,
+    /// Ticks the ADAS spent in any degraded (non-nominal) state.
+    pub degraded_ticks: u64,
+    /// Ticks the ADAS spent in the fail-safe state.
+    pub failsafe_ticks: u64,
+    /// When the ADAS first left the nominal state.
+    pub first_degraded: Option<Seconds>,
+    /// When the ADAS first entered the fail-safe state.
+    pub first_failsafe: Option<Seconds>,
+    /// Time from the scheduled end of the last fault to the return to
+    /// nominal (None: never degraded, never recovered, or no schedule).
+    pub recovery_latency: Option<Seconds>,
+    /// Fault injections performed by the fault engine.
+    pub faults_injected: u64,
 }
 
 impl SimResult {
@@ -155,6 +179,12 @@ pub struct Harness {
     last_cmd: CarControl,
     alert_events: u64,
     ever_disengaged: bool,
+    faults: Option<FaultEngine>,
+    degraded_ticks: u64,
+    failsafe_ticks: u64,
+    first_degraded: Option<Tick>,
+    first_failsafe: Option<Tick>,
+    recovered_at: Option<Tick>,
     recorder: Option<TraceRecorder>,
     /// ADAS output buffers, handed to [`Adas::step_into`] and taken back
     /// every tick so the steady-state loop never touches the heap.
@@ -192,6 +222,13 @@ impl Harness {
             last_cmd: CarControl::default(),
             alert_events: 0,
             ever_disengaged: false,
+            faults: (!config.faults.is_empty())
+                .then(|| FaultEngine::new(config.seed, config.faults)),
+            degraded_ticks: 0,
+            failsafe_ticks: 0,
+            first_degraded: None,
+            first_failsafe: None,
+            recovered_at: None,
             recorder: config.trace.enabled.then(|| TraceRecorder::new(config.trace)),
             adas_out: AdasOutput::default(),
             config,
@@ -231,8 +268,27 @@ impl Harness {
             return tick;
         }
 
-        // 1. Sensors sample ground truth and publish.
-        let frame = self.sensors.publish(&self.bus, tick, &self.world);
+        // 1. Sensors sample ground truth and publish. With a fault engine
+        // attached the sample is mutated first (stuck-at, noise, latency)
+        // and the IPC stage can drop or delay the per-stream publishes;
+        // without one the path is untouched and bit-identical to before.
+        let frame = match self.faults.as_mut() {
+            Some(eng) => {
+                let mut frame = self.sensors.sample(&self.world);
+                let plan = eng.apply_sensors(tick, &mut frame);
+                if let Some(gps) = plan.gps {
+                    self.bus.publish(tick, Payload::GpsLocationExternal(gps));
+                }
+                if let Some(lane) = plan.lane {
+                    self.bus.publish(tick, Payload::ModelV2(lane));
+                }
+                if let Some(radar) = plan.radar {
+                    self.bus.publish(tick, Payload::RadarState(radar));
+                }
+                frame
+            }
+            None => self.sensors.publish(&self.bus, tick, &self.world),
+        };
 
         // 2. The attacker eavesdrops and matches contexts.
         if let Some(att) = self.attacker.as_mut() {
@@ -245,9 +301,49 @@ impl Harness {
         self.adas.step_into(tick, &mut out);
         self.alert_events += out.new_alerts.len() as u64;
 
+        // 3b. Degradation bookkeeping for the resilience metrics.
+        match out.degradation {
+            DegradationState::Nominal => {
+                if self.recovered_at.is_none() && self.first_degraded.is_some() {
+                    let fault_over = self
+                        .faults
+                        .as_ref()
+                        .and_then(FaultEngine::last_fault_end)
+                        .is_some_and(|end| tick.index() >= end);
+                    if fault_over {
+                        self.recovered_at = Some(tick);
+                    }
+                }
+            }
+            DegradationState::FailSafe => {
+                self.degraded_ticks += 1;
+                self.failsafe_ticks += 1;
+                if self.first_degraded.is_none() {
+                    self.first_degraded = Some(tick);
+                }
+                if self.first_failsafe.is_none() {
+                    self.first_failsafe = Some(tick);
+                }
+            }
+            DegradationState::DegradedAlcOff | DegradationState::DegradedAccOff => {
+                self.degraded_ticks += 1;
+                if self.first_degraded.is_none() {
+                    self.first_degraded = Some(tick);
+                }
+            }
+        }
+
         // 4. Man-in-the-middle: the attack rewrites frames in flight.
         if let Some(att) = self.attacker.as_mut() {
             att.process_frames_in_place(tick, &mut out.frames);
+        }
+
+        // 4b. Fault injection at the CAN layer: bus-off, frame drops and
+        // un-repaired bit flips (a flipped frame fails its checksum at the
+        // actuator and is rejected there — unlike the attack engine, the
+        // fault engine does not forge valid frames).
+        if let Some(eng) = self.faults.as_mut() {
+            eng.apply_can(tick, &mut out.frames);
         }
 
         // 5. Firmware safety checks (disabled in the paper's setup).
@@ -389,6 +485,14 @@ impl Harness {
             hazard_mask: self.hazards.mask(),
             h3_streak: self.hazards.h3_streak(),
             collided: self.world.collision().is_some(),
+            fault_mask: self.faults.as_ref().map_or(0, FaultEngine::active_mask),
+            faults_injected: self.faults.as_ref().map_or(0, FaultEngine::faults_injected),
+            degradation: match self.adas.degradation() {
+                DegradationState::Nominal => DegradationCode::Nominal,
+                DegradationState::DegradedAlcOff => DegradationCode::AlcOff,
+                DegradationState::DegradedAccOff => DegradationCode::AccOff,
+                DegradationState::FailSafe => DegradationCode::FailSafe,
+            },
         });
     }
 
@@ -475,6 +579,17 @@ impl Harness {
                 .as_ref()
                 .and_then(|m| m.detected_at())
                 .map(Tick::time),
+            degraded_ticks: self.degraded_ticks,
+            failsafe_ticks: self.failsafe_ticks,
+            first_degraded: self.first_degraded.map(Tick::time),
+            first_failsafe: self.first_failsafe.map(Tick::time),
+            recovery_latency: self.recovered_at.and_then(|at| {
+                self.faults
+                    .as_ref()
+                    .and_then(FaultEngine::last_fault_end)
+                    .map(|end| Tick::new(at.index().saturating_sub(end)).time())
+            }),
+            faults_injected: self.faults.as_ref().map_or(0, FaultEngine::faults_injected),
         }
     }
 }

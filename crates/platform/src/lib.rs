@@ -36,6 +36,7 @@ mod harness;
 mod hazard;
 pub mod metrics;
 pub mod report;
+pub mod resilience;
 pub mod tables;
 pub mod trace;
 

@@ -217,6 +217,12 @@ mod tests {
             panda_blocked: 0,
             invariant_detected: None,
             monitor_detected: None,
+            degraded_ticks: 0,
+            failsafe_ticks: 0,
+            first_degraded: None,
+            first_failsafe: None,
+            recovery_latency: None,
+            faults_injected: 0,
         }
     }
 

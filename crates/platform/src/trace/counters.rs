@@ -126,6 +126,12 @@ pub struct RunMetrics {
     pub attack_active_ticks: u64,
     /// Ticks the driver spent in physical control.
     pub driver_engaged_ticks: u64,
+    /// Ticks the ADAS spent in any degraded (non-nominal) state.
+    pub degraded_ticks: u64,
+    /// Ticks the ADAS spent in the fail-safe state.
+    pub failsafe_ticks: u64,
+    /// Fault injections performed by the fault engine.
+    pub faults_injected: u64,
     /// Headway-time distribution (s), 0–10 s in 40 bins.
     pub headway: Histogram,
     /// Applied-acceleration distribution (m/s²), −5–3 in 40 bins.
@@ -144,6 +150,9 @@ impl Default for RunMetrics {
             alert_events: 0,
             attack_active_ticks: 0,
             driver_engaged_ticks: 0,
+            degraded_ticks: 0,
+            failsafe_ticks: 0,
+            faults_injected: 0,
             headway: Histogram::new(0.0, 10.0, 40),
             applied_accel: Histogram::new(-5.0, 3.0, 40),
             lane_offset: Histogram::new(-2.0, 2.0, 40),
@@ -163,6 +172,11 @@ impl RunMetrics {
         self.attack_active_ticks += u64::from(r.attack_active);
         self.driver_engaged_ticks +=
             u64::from(r.driver_phase == super::record::DriverPhaseCode::Engaged);
+        self.degraded_ticks +=
+            u64::from(r.degradation != super::record::DegradationCode::Nominal);
+        self.failsafe_ticks +=
+            u64::from(r.degradation == super::record::DegradationCode::FailSafe);
+        self.faults_injected = r.faults_injected;
         self.headway.record(r.hwt);
         self.applied_accel.record(r.applied_accel);
         self.lane_offset.record(r.ego_d);
@@ -206,6 +220,9 @@ impl CampaignMetrics {
         self.totals.alert_events += metrics.alert_events;
         self.totals.attack_active_ticks += metrics.attack_active_ticks;
         self.totals.driver_engaged_ticks += metrics.driver_engaged_ticks;
+        self.totals.degraded_ticks += metrics.degraded_ticks;
+        self.totals.failsafe_ticks += metrics.failsafe_ticks;
+        self.totals.faults_injected += metrics.faults_injected;
         self.totals.headway.merge(&metrics.headway);
         self.totals.applied_accel.merge(&metrics.applied_accel);
         self.totals.lane_offset.merge(&metrics.lane_offset);
@@ -231,6 +248,9 @@ impl CampaignMetrics {
         self.totals.alert_events += other.totals.alert_events;
         self.totals.attack_active_ticks += other.totals.attack_active_ticks;
         self.totals.driver_engaged_ticks += other.totals.driver_engaged_ticks;
+        self.totals.degraded_ticks += other.totals.degraded_ticks;
+        self.totals.failsafe_ticks += other.totals.failsafe_ticks;
+        self.totals.faults_injected += other.totals.faults_injected;
         self.totals.headway.merge(&other.totals.headway);
         self.totals.applied_accel.merge(&other.totals.applied_accel);
         self.totals.lane_offset.merge(&other.totals.lane_offset);

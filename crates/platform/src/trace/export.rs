@@ -13,7 +13,8 @@ pub const CSV_HEADER: &str = "tick,time_s,ego_s,ego_d,ego_v,ego_a,ego_steer_deg,
 lead_s,lead_v,gap,hwt,engaged,acc_desired,acc_cmd,alc_desired_deg,alc_cmd_deg,\
 alc_saturated,cmd_accel,cmd_steer_deg,applied_accel,applied_steer_deg,\
 bus_total,attack_active,frames_rewritten,panda_blocked,alert_events,\
-driver_phase,hazard_mask,h3_streak,collided";
+driver_phase,hazard_mask,h3_streak,collided,\
+fault_mask,faults_injected,degradation";
 
 fn cell(x: f64) -> String {
     if x.is_nan() {
@@ -25,7 +26,7 @@ fn cell(x: f64) -> String {
 
 fn csv_row(r: &TickRecord) -> String {
     format!(
-        "{},{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         r.tick,
         r.time_secs(),
         cell(r.ego_s),
@@ -56,6 +57,9 @@ fn csv_row(r: &TickRecord) -> String {
         r.hazard_mask,
         r.h3_streak,
         u8::from(r.collided),
+        r.fault_mask,
+        r.faults_injected,
+        r.degradation.as_char(),
     )
 }
 
@@ -98,7 +102,8 @@ pub fn to_json<'a>(records: impl IntoIterator<Item = &'a TickRecord>) -> String 
 \"acc\":{{\"desired\":{},\"cmd\":{}}},\"alc\":{{\"desired_deg\":{},\"cmd_deg\":{},\"saturated\":{}}},\
 \"cmd\":{{\"accel\":{},\"steer_deg\":{}}},\"applied\":{{\"accel\":{},\"steer_deg\":{}}},\
 \"bus\":{{{}}},\"attack_active\":{},\"frames_rewritten\":{},\"panda_blocked\":{},\
-\"alert_events\":{},\"driver_phase\":\"{}\",\"hazard_mask\":{},\"h3_streak\":{},\"collided\":{}}}",
+\"alert_events\":{},\"driver_phase\":\"{}\",\"hazard_mask\":{},\"h3_streak\":{},\"collided\":{},\
+\"fault_mask\":{},\"faults_injected\":{},\"degradation\":\"{}\"}}",
             r.tick,
             r.time_secs(),
             json_num(r.ego_s),
@@ -129,6 +134,9 @@ pub fn to_json<'a>(records: impl IntoIterator<Item = &'a TickRecord>) -> String 
             r.hazard_mask,
             r.h3_streak,
             r.collided,
+            r.fault_mask,
+            r.faults_injected,
+            r.degradation.as_char(),
         ));
     }
     out.push_str("\n]\n");
@@ -236,6 +244,9 @@ pub fn diff<'a>(
             && a.hazard_mask == b.hazard_mask
             && a.h3_streak == b.h3_streak
             && a.collided == b.collided
+            && a.fault_mask == b.fault_mask
+            && a.faults_injected == b.faults_injected
+            && a.degradation == b.degradation
     }
     let mut max_deltas: Vec<(&'static str, f64, u64)> =
         FIELDS.iter().map(|(n, _)| (*n, 0.0, 0)).collect();
@@ -279,7 +290,7 @@ pub fn diff<'a>(
 
 #[cfg(test)]
 mod tests {
-    use super::super::record::DriverPhaseCode;
+    use super::super::record::{DegradationCode, DriverPhaseCode};
     use super::*;
 
     fn record(tick: u64, ego_v: f64) -> TickRecord {
@@ -313,6 +324,9 @@ mod tests {
             hazard_mask: 0,
             h3_streak: 0,
             collided: false,
+            fault_mask: 0,
+            faults_injected: 0,
+            degradation: DegradationCode::Nominal,
         }
     }
 

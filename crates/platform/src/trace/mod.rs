@@ -19,7 +19,7 @@ mod ring;
 
 pub use counters::{CampaignMetrics, Histogram, RunMetrics};
 pub use export::{diff, to_csv, to_json, TraceDiff, CSV_HEADER};
-pub use record::{DriverPhaseCode, TickRecord, TraceEvent, TraceEventKind};
+pub use record::{DegradationCode, DriverPhaseCode, TickRecord, TraceEvent, TraceEventKind};
 pub use ring::TraceRing;
 
 use crate::HazardKind;
@@ -139,6 +139,12 @@ impl TraceRecorder {
         if r.collided && !was(|p| p.collided) {
             self.push_event(tick, TraceEventKind::Collision);
         }
+        let prev_degradation = prev
+            .map(|p| p.degradation)
+            .unwrap_or(DegradationCode::Nominal);
+        if r.degradation != prev_degradation {
+            self.push_event(tick, TraceEventKind::DegradationChanged(r.degradation));
+        }
     }
 
     fn push_event(&mut self, tick: u64, kind: TraceEventKind) {
@@ -231,6 +237,9 @@ mod tests {
             hazard_mask: 0,
             h3_streak: 0,
             collided: false,
+            fault_mask: 0,
+            faults_injected: 0,
+            degradation: DegradationCode::Nominal,
         }
     }
 

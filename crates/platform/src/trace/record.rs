@@ -24,6 +24,31 @@ impl DriverPhaseCode {
     }
 }
 
+/// ADAS degradation-ladder state, one byte per tick in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationCode {
+    /// Full functionality.
+    Nominal,
+    /// Lateral assistance shed (camera stream degraded).
+    AlcOff,
+    /// Longitudinal assistance shed; gentle deceleration.
+    AccOff,
+    /// Controlled fail-safe stop in progress.
+    FailSafe,
+}
+
+impl DegradationCode {
+    /// Single-character rendering for trace tables (`-`, `L`, `A`, `F`).
+    pub fn as_char(self) -> char {
+        match self {
+            DegradationCode::Nominal => '-',
+            DegradationCode::AlcOff => 'L',
+            DegradationCode::AccOff => 'A',
+            DegradationCode::FailSafe => 'F',
+        }
+    }
+}
+
 /// One tick of the Fig. 5 pipeline, captured *after* `world.step` and the
 /// hazard check so every field reflects the executed cycle.
 ///
@@ -92,6 +117,13 @@ pub struct TickRecord {
     pub h3_streak: u32,
     /// Whether the world has recorded a collision.
     pub collided: bool,
+    /// Bitmask of fault kinds actively firing this tick
+    /// (bit = [`faultinj::FaultKind::index`]); 0 when no engine is attached.
+    pub fault_mask: u16,
+    /// Cumulative count of fault injections performed by the engine.
+    pub faults_injected: u64,
+    /// ADAS degradation-ladder state at the end of the tick.
+    pub degradation: DegradationCode,
 }
 
 impl TickRecord {
@@ -123,6 +155,8 @@ pub enum TraceEventKind {
     Hazard(crate::HazardKind),
     /// The world recorded a collision.
     Collision,
+    /// The ADAS degradation ladder moved to a new state.
+    DegradationChanged(DegradationCode),
 }
 
 /// A [`TraceEventKind`] stamped with its tick.
@@ -145,6 +179,9 @@ impl std::fmt::Display for TraceEvent {
             TraceEventKind::DriverEngaged => "driver engaged".to_string(),
             TraceEventKind::Hazard(kind) => format!("hazard {kind:?}"),
             TraceEventKind::Collision => "collision".to_string(),
+            TraceEventKind::DegradationChanged(code) => {
+                format!("degradation -> {}", code.as_char())
+            }
         };
         write!(f, "t={t:6.2}s  tick {:>5}  {label}", self.tick)
     }

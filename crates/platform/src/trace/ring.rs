@@ -85,7 +85,7 @@ impl TraceRing {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::record::DriverPhaseCode;
+    use crate::trace::record::{DegradationCode, DriverPhaseCode};
 
     fn record(tick: u64) -> TickRecord {
         TickRecord {
@@ -118,6 +118,9 @@ mod tests {
             hazard_mask: 0,
             h3_streak: 0,
             collided: false,
+            fault_mask: 0,
+            faults_injected: 0,
+            degradation: DegradationCode::Nominal,
         }
     }
 

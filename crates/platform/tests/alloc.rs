@@ -12,6 +12,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use driving_sim::{Scenario, ScenarioId};
+use faultinj::{FaultKind, FaultSchedule, FaultSpec, FaultTarget};
 use platform::{Harness, HarnessConfig};
 use units::Distance;
 
@@ -47,22 +48,35 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-/// Single test so the global counters see exactly one measured window.
+/// Single test so the global counters see exactly one measured window per
+/// harness (plain and fault-injected, armed back to back).
 #[test]
 fn steady_state_tick_does_not_touch_the_heap() {
-    let cfg = HarnessConfig::no_attack(Scenario::new(ScenarioId::S1, Distance::meters(70.0)), 3);
+    let scenario = Scenario::new(ScenarioId::S1, Distance::meters(70.0));
+    let cfg = HarnessConfig::no_attack(scenario, 3);
     let mut harness = Harness::new(cfg);
+
+    // A second harness with the fault engine active through the whole
+    // measured window: degradation escalation (and its alerts) happens
+    // during warm-up, so the window exercises the faulted sensor path,
+    // the CAN fault pass and the fail-safe control branch at steady state.
+    let faulted_cfg = HarnessConfig::no_attack(scenario, 3).with_faults(FaultSchedule::single(
+        FaultSpec::window(FaultKind::SensorDropout, FaultTarget::All, 50, 20_000),
+    ));
+    let mut faulted = Harness::new(faulted_cfg);
 
     // Warm-up: let every reused buffer reach its high-water mark (the
     // encoder's counter map fills on the first engaged tick; the msgbus
     // ring and the drain scratch buffers stabilize within a few ticks).
     for _ in 0..500 {
         harness.step();
+        faulted.step();
     }
 
     ARMED.store(true, Ordering::SeqCst);
     for _ in 0..1_000 {
         harness.step();
+        faulted.step();
     }
     ARMED.store(false, Ordering::SeqCst);
 
@@ -71,7 +85,7 @@ fn steady_state_tick_does_not_touch_the_heap() {
     assert_eq!(
         (allocs, reallocs),
         (0, 0),
-        "steady-state Harness::step must not allocate \
-         ({allocs} allocs, {reallocs} reallocs over 1000 ticks)"
+        "steady-state Harness::step must not allocate, with or without \
+         fault injection ({allocs} allocs, {reallocs} reallocs over 1000 ticks)"
     );
 }
