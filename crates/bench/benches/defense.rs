@@ -1,91 +1,72 @@
-//! Evaluates the §V defenses against every attack type: detection rate,
-//! detection latency, and whether detection lands inside the
-//! time-to-hazard window (the mitigation budget of the paper's Fig. 2).
-//! Also measures the false-positive rate on attack-free runs.
+//! Defense campaign: every defense deployment (off / observe / degrade /
+//! fail-safe) against the clean baseline, the Context-Aware strategic
+//! attacker, and the full fault matrix, aggregated into
+//! `BENCH_defense.json` at the repo root.
+//!
+//! The report answers, per (policy, threat) cell: did a detector fire, how
+//! fast after onset, did acting on it reduce hazards/accidents, and — on
+//! the clean threat — whether any detection was spurious.
+//!
+//! Run with e.g. `REPRO_SCALE=20 cargo bench -p bench --bench defense`.
+//! The campaign is run twice (parallel, then single-worker) and the two
+//! JSON reports must match byte for byte.
 
-use attack_core::{AttackType, StrategyKind, ValueMode};
-use bench::{scaled_reps, write_artifact};
-use driver_model::DriverConfig;
-use platform::experiment::{plan_attack_campaign, plan_no_attack_campaign, run_parallel, CampaignConfig};
+use bench::{scale_divisor, write_artifact};
+use platform::defense_campaign::{run_defense_campaign_with, DefenseCampaignConfig};
+use platform::experiment::RunnerConfig;
 
 fn main() {
-    let reps = scaled_reps();
-    let mut report = String::new();
-
-    // False positives: defenses watching attack-free traffic.
-    let mut specs = plan_no_attack_campaign(reps, 0xDEF0, DriverConfig::alert());
-    for s in &mut specs {
-        s.defenses_enabled = true;
-    }
-    let baseline = run_parallel(&specs);
-    let fp_inv = baseline.iter().filter(|r| r.invariant_detected.is_some()).count();
-    let fp_mon = baseline.iter().filter(|r| r.monitor_detected.is_some()).count();
-    report.push_str(&format!(
-        "attack-free false positives over {} runs: invariant {fp_inv}, monitor {fp_mon}\n\n",
-        baseline.len()
-    ));
-
-    report.push_str(
-        "Context-Aware attacks with strategic values (the paper's stealthiest case):\n\
-         | attack type           | runs | detected(inv) | detected(mon) | med latency | in time |\n",
+    // The threat matrix is ~25 threats x 4 policies x 12 scenario cells, so
+    // reps stay small: 2 at full scale, 1 under any REPRO_SCALE.
+    let reps = if scale_divisor() > 1 { 1 } else { 2 };
+    let cfg = DefenseCampaignConfig::new(0xD3F3, reps);
+    let t0 = std::time::Instant::now();
+    let report = run_defense_campaign_with(RunnerConfig::default(), &cfg);
+    let seconds = t0.elapsed().as_secs_f64();
+    println!(
+        "defense: {} runs across {} policy/threat cells in {:.2}s (scale 1/{})",
+        report.total_runs,
+        report.cells.len(),
+        seconds,
+        scale_divisor()
     );
-    for attack_type in AttackType::ALL {
-        let mut cfg = CampaignConfig::paper(StrategyKind::ContextAware);
-        cfg.value_mode = ValueMode::Strategic;
-        cfg.reps = reps;
-        let mut specs = plan_attack_campaign(&cfg, attack_type);
-        for s in &mut specs {
-            s.defenses_enabled = true;
-        }
-        let results = run_parallel(&specs);
-        let activated: Vec<_> = results
-            .iter()
-            .filter(|r| r.attack_activated.is_some())
-            .collect();
-        let det_inv = activated.iter().filter(|r| r.invariant_detected.is_some()).count();
-        let det_mon = activated.iter().filter(|r| r.monitor_detected.is_some()).count();
-        // Earliest of the two detectors per run.
-        let mut latencies: Vec<f64> = activated
-            .iter()
-            .filter_map(|r| {
-                let d = match (r.invariant_detected, r.monitor_detected) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                }?;
-                let t_a = r.attack_activated?;
-                (d >= t_a).then(|| (d - t_a).secs())
-            })
-            .collect();
-        latencies.sort_by(f64::total_cmp);
-        let median = latencies
-            .get(latencies.len() / 2)
-            .map_or(f64::NAN, |v| *v);
-        let in_time = activated
-            .iter()
-            .filter(|r| {
-                let d = match (r.invariant_detected, r.monitor_detected) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                };
-                match (d, r.first_hazard) {
-                    (Some(d), Some((h, _))) => d < h,
-                    (Some(_), None) => true,
-                    _ => false,
-                }
-            })
-            .count();
-        report.push_str(&format!(
-            "| {:<21} | {:>4} | {:>13} | {:>13} | {:>9.2}s | {:>4}/{:<4} |\n",
-            attack_type.label(),
-            activated.len(),
-            det_inv,
-            det_mon,
-            median,
-            in_time,
-            activated.len(),
-        ));
+    for cell in &report.cells {
+        let detection = cell
+            .mean_detection_s
+            .map_or("     -".to_string(), |s| format!("{s:5.2}s"));
+        println!(
+            "  {:<9} {:<26} haz {:>2}/{:<2} acc {:>2}  det {:>2} \
+(ids {:>2} inv {:>2} mon {:>2})  gates {:>4}  latency {}",
+            cell.policy,
+            cell.threat,
+            cell.hazardous_runs,
+            cell.runs,
+            cell.accident_runs,
+            cell.detected_runs,
+            cell.ids_detected_runs,
+            cell.invariant_detected_runs,
+            cell.monitor_detected_runs,
+            cell.gate_rejections,
+            detection,
+        );
     }
 
-    println!("{report}");
-    write_artifact("defense.txt", &report);
+    let json = report.to_json();
+    let replay = run_defense_campaign_with(RunnerConfig::with_workers(1), &cfg);
+    assert_eq!(
+        json,
+        replay.to_json(),
+        "defense campaign must be bit-reproducible across worker counts"
+    );
+    println!("  replay identical: true");
+
+    // The tracked copy lives at the repo root (BENCH_defense.json);
+    // write_artifact drops a second copy under target/paper-artifacts/.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_defense.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("[artifact] {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+    write_artifact("BENCH_defense.json", &json);
 }

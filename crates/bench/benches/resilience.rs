@@ -30,7 +30,7 @@ fn main() {
     for cell in &report.cells {
         println!(
             "  {:<18} i={:.1}  hazards {}/{}  accidents {}  failsafe {}  \
-degraded {:>6.1}s  recovered {} ({:.1}s)",
+degraded {:>6.1}s  recovered {} ({})",
             cell.fault,
             cell.intensity,
             cell.hazardous_runs,
@@ -39,7 +39,8 @@ degraded {:>6.1}s  recovered {} ({:.1}s)",
             cell.failsafe_runs,
             cell.mean_degraded_s,
             cell.recovered_runs,
-            cell.mean_recovery_s,
+            cell.mean_recovery_s
+                .map_or("-".to_string(), |s| format!("{s:.1}s")),
         );
     }
 

@@ -54,7 +54,10 @@ mod signal;
 
 pub use bus::{BusStats, CanBus, Capture, Interceptor};
 pub use codec::{decode, decode_signal, decode_unchecked, rewrite_signal, Encoder};
-pub use dbc::VirtualCarDbc;
+pub use dbc::{
+    VirtualCarDbc, BRAKE_COMMAND_ID, GAS_COMMAND_ID, STEERING_CONTROL_ID, STEER_STATUS_ID,
+    WHEEL_SPEEDS_ID,
+};
 pub use error::CanError;
 pub use frame::CanFrame;
 pub use signal::{ByteOrder, MessageSpec, Signal};

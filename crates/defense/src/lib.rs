@@ -12,9 +12,18 @@
 //!   Table I. It watches the executed actuator commands and flags any that
 //!   are unsafe in the current driving context — precisely the
 //!   (context, action) pairs the attack must use to cause hazards.
+//! * [`CanIds`] — CAN intrusion detection over the delivered actuator
+//!   frames: per-message timing, rolling-counter continuity and checksum
+//!   history. The paper's attacker repairs counters and checksums after
+//!   rewriting a frame, so this detector targets what that discipline
+//!   cannot hide — a bus that drops, duplicates or corrupts frames (the
+//!   fault-injection campaigns), complementing the two attack-facing
+//!   detectors above.
 //!
-//! Both defenses sit at the last computational stage, after the attack's
-//! injection point, which is where the paper concludes robust checks belong.
+//! All defenses sit at the last computational stage, after the attack's
+//! injection point, which is where the paper concludes robust checks
+//! belong. How their verdicts act on the vehicle is the harness's
+//! [`DefensePolicy`].
 //!
 //! # Examples
 //!
@@ -45,10 +54,12 @@
 
 #![warn(missing_docs)]
 
+mod ids;
 mod invariant;
 mod monitor;
 mod report;
 
+pub use ids::{CanIds, DefensePolicy, IdsConfig, IdsVerdict};
 pub use invariant::{ControlInvariantDetector, InvariantConfig};
 pub use monitor::{ContextMonitor, ContextObservation, MonitorConfig, MonitorVerdict};
 pub use report::DetectionReport;

@@ -17,27 +17,31 @@ const HISTORY_LEN: usize = 256;
 ///
 /// `None` means "the message is lost": the module went silent
 /// ([`FaultKind::SensorDropout`]) or the IPC layer dropped the publish
-/// ([`FaultKind::BusPublishDrop`]). `Some` carries the (possibly corrupted
-/// or delayed) payload to put on the bus. With no active fault the plan is
-/// exactly the sampled frame, so a fault-free engine is behaviorally
-/// invisible.
+/// ([`FaultKind::BusPublishDrop`]). `Some` carries the *sample tick* and the
+/// (possibly corrupted or delayed) payload to put on the bus. The sample
+/// tick is the envelope timestamp the harness must publish with: a latency
+/// or delay fault replays an old reading *with its old timestamp*, the way
+/// a real delayed message still carries the time it was sampled — which is
+/// exactly what lets an age-aware consumer see through the replay. With no
+/// active fault the plan is the sampled frame stamped at the current tick,
+/// so a fault-free engine is behaviorally invisible.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PublishPlan {
-    /// `gpsLocationExternal` payload, if the message survives.
-    pub gps: Option<GpsLocation>,
-    /// `modelV2` payload, if the message survives.
-    pub lane: Option<LaneModel>,
-    /// `radarState` payload, if the message survives.
-    pub radar: Option<RadarState>,
+    /// `gpsLocationExternal` sample tick and payload, if the message survives.
+    pub gps: Option<(Tick, GpsLocation)>,
+    /// `modelV2` sample tick and payload, if the message survives.
+    pub lane: Option<(Tick, LaneModel)>,
+    /// `radarState` sample tick and payload, if the message survives.
+    pub radar: Option<(Tick, RadarState)>,
 }
 
 impl PublishPlan {
-    /// A plan that publishes the frame untouched.
-    pub fn nominal(frame: &SensorFrame) -> Self {
+    /// A plan that publishes the frame untouched, stamped at `tick`.
+    pub fn nominal(tick: Tick, frame: &SensorFrame) -> Self {
         Self {
-            gps: Some(frame.gps),
-            lane: Some(frame.lane),
-            radar: Some(frame.radar),
+            gps: Some((tick, frame.gps)),
+            lane: Some((tick, frame.lane)),
+            radar: Some((tick, frame.radar)),
         }
     }
 }
@@ -118,6 +122,15 @@ impl FaultEngine {
 
         let schedule = self.schedule;
 
+        // Per-stream sample-tick stamps: start at the current tick and get
+        // backdated by latency-class faults, so a replayed reading carries
+        // the timestamp it was actually sampled at. Stuck-at and noise keep
+        // the current stamp — the module is alive and publishing on time,
+        // its *content* is wrong, which is the plausibility gates' problem.
+        let mut gps_stamp = tick;
+        let mut lane_stamp = tick;
+        let mut radar_stamp = tick;
+
         // Pass 1: module-level corruption (affects `frame` itself).
         for (i, spec) in schedule.iter().enumerate() {
             if !spec.active_at(t) {
@@ -140,8 +153,15 @@ impl FaultEngine {
                     self.faults_injected += self.perturb(t, i as u64, frame, spec);
                 }
                 FaultKind::SensorLatency => {
-                    if let Some(src) = self.stale_frame(t, spec.delay) {
+                    if let Some((src_t, src)) = self.stale_frame(t, spec.delay) {
                         self.faults_injected += overwrite(frame, &src, spec.target);
+                        backdate(
+                            &mut gps_stamp,
+                            &mut lane_stamp,
+                            &mut radar_stamp,
+                            Tick::new(src_t),
+                            spec.target,
+                        );
                     }
                 }
                 FaultKind::SensorDropout
@@ -154,7 +174,11 @@ impl FaultEngine {
         }
 
         // Pass 2: IPC-level faults (affect the publish plan, not the frame).
-        let mut plan = PublishPlan::nominal(frame);
+        let mut plan = PublishPlan {
+            gps: Some((gps_stamp, frame.gps)),
+            lane: Some((lane_stamp, frame.lane)),
+            radar: Some((radar_stamp, frame.radar)),
+        };
         for (i, spec) in schedule.iter().enumerate() {
             if !spec.active_at(t) {
                 continue;
@@ -162,17 +186,17 @@ impl FaultEngine {
             let slot_salt = i as u64;
             match spec.kind {
                 FaultKind::BusDelay => {
-                    if let Some(src) = self.stale_frame(t, spec.delay) {
+                    if let Some((src_t, src)) = self.stale_frame(t, spec.delay) {
                         if plan.gps.is_some() && spec.target.hits_gps() {
-                            plan.gps = Some(src.gps);
+                            plan.gps = Some((Tick::new(src_t), src.gps));
                             self.faults_injected += 1;
                         }
                         if plan.lane.is_some() && spec.target.hits_camera() {
-                            plan.lane = Some(src.lane);
+                            plan.lane = Some((Tick::new(src_t), src.lane));
                             self.faults_injected += 1;
                         }
                         if plan.radar.is_some() && spec.target.hits_radar() {
-                            plan.radar = Some(src.radar);
+                            plan.radar = Some((Tick::new(src_t), src.radar));
                             self.faults_injected += 1;
                         }
                     }
@@ -275,12 +299,14 @@ impl FaultEngine {
         }
     }
 
-    /// The pristine frame from `delay` ticks ago (clamped to the ring), or
-    /// `None` when the run is younger than the requested delay.
-    fn stale_frame(&self, t: u64, delay: u32) -> Option<SensorFrame> {
+    /// The pristine frame from `delay` ticks ago (clamped to the ring) and
+    /// the tick it was sampled at, or `None` when the run is younger than
+    /// the requested delay.
+    fn stale_frame(&self, t: u64, delay: u32) -> Option<(u64, SensorFrame)> {
         let delay = (delay as u64).clamp(1, HISTORY_LEN as u64 - 1);
         let src = t.checked_sub(delay)?;
-        self.history.get((src % HISTORY_LEN as u64) as usize).copied()
+        let frame = self.history.get((src % HISTORY_LEN as u64) as usize).copied()?;
+        Some((src, frame))
     }
 
     /// Adds bounded, seeded noise to the targeted streams; returns the
@@ -329,6 +355,26 @@ const SALT_NOISE_VLEAD: u64 = 0x15;
 const SALT_CAN_DROP: u64 = 0x2000;
 const SALT_CAN_FLIP: u64 = 0x4000;
 const SALT_CAN_BIT: u64 = 0x8000;
+
+/// Rewinds the stamp of each targeted stream to `src` (keeping the earliest
+/// stamp if several latency faults stack).
+fn backdate(
+    gps: &mut Tick,
+    lane: &mut Tick,
+    radar: &mut Tick,
+    src: Tick,
+    target: FaultTarget,
+) {
+    if target.hits_gps() {
+        *gps = (*gps).min(src);
+    }
+    if target.hits_camera() {
+        *lane = (*lane).min(src);
+    }
+    if target.hits_radar() {
+        *radar = (*radar).min(src);
+    }
+}
 
 /// Copies the targeted streams of `src` over `frame`; returns the number of
 /// streams overwritten.
@@ -402,7 +448,7 @@ mod tests {
         let pristine = f;
         let plan = eng.apply_sensors(Tick::new(10), &mut f);
         assert_eq!(f, pristine);
-        assert_eq!(plan, PublishPlan::nominal(&pristine));
+        assert_eq!(plan, PublishPlan::nominal(Tick::new(10), &pristine));
         assert_eq!(eng.active_mask(), 0);
         assert_eq!(eng.faults_injected(), 0);
     }
@@ -424,9 +470,9 @@ mod tests {
         let mut eng = FaultEngine::new(1, FaultSchedule::single(spec));
         let mut f = frame(25.0, 60.0);
         let before = eng.apply_sensors(Tick::new(4), &mut f);
-        assert_eq!(before, PublishPlan::nominal(&f));
+        assert_eq!(before, PublishPlan::nominal(Tick::new(4), &f));
         let after = eng.apply_sensors(Tick::new(15), &mut f);
-        assert_eq!(after, PublishPlan::nominal(&f));
+        assert_eq!(after, PublishPlan::nominal(Tick::new(15), &f));
         assert_eq!(eng.active_mask(), 0);
     }
 
@@ -457,12 +503,20 @@ mod tests {
         let mut eng = FaultEngine::new(1, FaultSchedule::single(spec));
         for t in 0..60u64 {
             let mut f = frame(t as f64, 60.0);
-            eng.apply_sensors(Tick::new(t), &mut f);
+            let plan = eng.apply_sensors(Tick::new(t), &mut f);
             if t >= 50 {
                 assert!(
                     (f.gps.speed.mps() - (t - 3) as f64).abs() < 1e-12,
                     "tick {t} sees the reading from 3 ticks ago"
                 );
+                let (stamp, _) = plan.gps.unwrap();
+                assert_eq!(
+                    stamp,
+                    Tick::new(t - 3),
+                    "the replayed reading carries its original sample tick"
+                );
+                let (lane_stamp, _) = plan.lane.unwrap();
+                assert_eq!(lane_stamp, Tick::new(t), "untargeted stream stays current");
             }
         }
     }
@@ -510,8 +564,9 @@ mod tests {
             assert!((f.gps.speed.mps() - t as f64).abs() < 1e-12, "frame is current");
             last_plan = Some(eng.apply_sensors(Tick::new(t), &mut f));
         }
-        let gps = last_plan.and_then(|p| p.gps).unwrap();
+        let (stamp, gps) = last_plan.and_then(|p| p.gps).unwrap();
         assert!((gps.speed.mps() - 25.0).abs() < 1e-12, "plan is 4 ticks stale");
+        assert_eq!(stamp, Tick::new(25), "stamped at the sample tick, not delivery");
     }
 
     #[test]

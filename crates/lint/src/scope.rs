@@ -62,7 +62,7 @@ pub const R5_EXEMPT_CRATES: [&str; 2] = ["bench", "lint"];
 /// a compile-time event at every consumer — a `_ =>` arm would silently
 /// swallow it, which is exactly how a new attack mode escapes the safety
 /// layer or the detector.
-pub const R8_ENUMS: [&str; 8] = [
+pub const R8_ENUMS: [&str; 10] = [
     "AttackType",
     "AttackAction",
     "SteerDirection",
@@ -71,6 +71,8 @@ pub const R8_ENUMS: [&str; 8] = [
     "AccidentKind",
     "DegradationState",
     "FaultKind",
+    "DefensePolicy",
+    "IdsVerdict",
 ];
 
 /// Classifies a workspace-relative path.

@@ -9,9 +9,11 @@ use units::{Accel, Speed, Tick};
 use crate::acc::AccOutput;
 use crate::alc::AlcOutput;
 use crate::degradation::{FAILSAFE_BRAKE, GENTLE_BRAKE};
+use crate::plausibility::STALE_AFTER_TICKS;
 use crate::{
     AccController, AlcController, AlertManager, CarStateEstimator, CommandEncoder,
-    DegradationMonitor, DegradationState, LaneProcessor, LeadTracker,
+    DegradationMonitor, DegradationState, GateConfig, LaneProcessor, LeadTracker,
+    PerceptionGates,
 };
 
 /// Everything the ADAS produced in one control cycle.
@@ -75,6 +77,11 @@ pub struct Adas {
     degradation: DegradationMonitor,
     encoder: CommandEncoder,
     last_control: CarControl,
+    /// Plausibility gates vetting each reading before fusion; `None` for
+    /// the legacy watchdog-only configuration.
+    gates: Option<PerceptionGates>,
+    /// A rung an external detector asked to force before the next cycle.
+    pending_force: Option<DegradationState>,
     /// Drain scratch, reused every cycle so steady-state ticks stay
     /// allocation-free.
     scratch: Vec<Envelope>,
@@ -98,8 +105,36 @@ impl Adas {
             degradation: DegradationMonitor::new(),
             encoder: CommandEncoder::new(),
             last_control: CarControl::default(),
+            gates: None,
+            pending_force: None,
             scratch: Vec::new(),
         }
+    }
+
+    /// Like [`Adas::new`], but with plausibility gates vetting every sensor
+    /// reading before the estimators fuse it (the `Observe`/`Degrade`/
+    /// `FailSafe` defense policies).
+    pub fn with_gates(bus: &Bus, v_cruise: Speed, cfg: GateConfig) -> Self {
+        let mut adas = Self::new(bus, v_cruise);
+        adas.gates = Some(PerceptionGates::new(cfg));
+        adas
+    }
+
+    /// Asks the degradation ladder to escalate to at least `target` at the
+    /// start of the next cycle (e.g. on a CAN-IDS alarm). Escalate-only and
+    /// edge-triggered; the caller re-requests each tick while the evidence
+    /// persists, and recovery runs through the normal hysteresis.
+    pub fn request_degradation(&mut self, target: DegradationState) {
+        self.pending_force = Some(match self.pending_force.take() {
+            Some(prev) if prev.rank() >= target.rank() => prev,
+            _ => target,
+        });
+    }
+
+    /// Total sensor readings the plausibility gates flagged implausible
+    /// (counted in observe mode too; 0 without gates).
+    pub fn gate_rejections(&self) -> u64 {
+        self.gates.as_ref().map_or(0, PerceptionGates::rejections)
     }
 
     /// Whether the ADAS is engaged.
@@ -142,41 +177,78 @@ impl Adas {
     /// same [`AdasOutput`] back every cycle pays for the buffers once and
     /// then runs the whole control loop without touching the heap.
     pub fn step_into(&mut self, tick: Tick, out: &mut AdasOutput) {
+        // An externally requested rung (CAN IDS alarm under an acting
+        // policy) lands before the watchdogs step, so this cycle's control
+        // authority already reflects it.
+        let forced_alert = self
+            .pending_force
+            .take()
+            .and_then(|target| self.degradation.force(target));
+
         // Latest-sample-wins, like a real 100 Hz control loop. Each stream
         // also feeds its staleness watchdog: a tick with no message at all
         // is a module-level outage, distinct from a message reporting "no
-        // detection".
+        // detection". A message whose *sample timestamp* lags the current
+        // tick by more than STALE_AFTER_TICKS is replayed history — it still
+        // updates the estimators (it is the freshest content available) but
+        // does not count as fresh, so the watchdog sees through a latency
+        // fault republishing old readings. With gates attached, a reading
+        // must also pass its plausibility checks to count.
         let mut gps_fresh = false;
         self.gps_sub.drain_into(&mut self.scratch);
         for env in &self.scratch {
             if let Payload::GpsLocationExternal(gps) = env.payload() {
-                self.state.update(gps, self.last_control.steer);
-                gps_fresh = true;
+                let admitted = match self.gates.as_mut() {
+                    Some(g) => g.admit_gps(tick, gps, &self.state),
+                    None => true,
+                };
+                if admitted {
+                    self.state.update(gps, self.last_control.steer);
+                    gps_fresh = tick - env.tick() <= STALE_AFTER_TICKS;
+                }
             }
         }
         let mut cam_fresh = false;
+        let mut cam_updated = false;
         self.model_sub.drain_into(&mut self.scratch);
         for env in &self.scratch {
             if let Payload::ModelV2(model) = env.payload() {
-                self.lanes.update(model);
-                cam_fresh = true;
+                let admitted = match self.gates.as_mut() {
+                    Some(g) => g.admit_lane(tick, model),
+                    None => true,
+                };
+                if admitted {
+                    self.lanes.update(model);
+                    cam_updated = true;
+                    cam_fresh = tick - env.tick() <= STALE_AFTER_TICKS;
+                }
             }
         }
         let mut radar_fresh = false;
+        let mut radar_updated = false;
         self.radar_sub.drain_into(&mut self.scratch);
         for env in &self.scratch {
             if let Payload::RadarState(radar) = env.payload() {
-                self.leads.update(radar);
-                radar_fresh = true;
+                let admitted = match self.gates.as_mut() {
+                    Some(g) => g.admit_radar(tick, radar, &self.leads),
+                    None => true,
+                };
+                if admitted {
+                    self.leads.update(radar);
+                    radar_updated = true;
+                    radar_fresh = tick - env.tick() <= STALE_AFTER_TICKS;
+                }
             }
         }
 
         // Coast the estimators through the outage: lane confidence decays,
         // the lead track holds-then-invalidates instead of freezing stale.
-        if !cam_fresh {
+        // A gate-rejected reading coasts like silence; a stale-but-admitted
+        // reading already updated the estimator and must not double-advance.
+        if !cam_updated {
             self.lanes.coast();
         }
-        if !radar_fresh {
+        if !radar_updated {
             self.leads.coast();
         }
         let degradation_alert = self.degradation.step(gps_fresh, cam_fresh, radar_fresh);
@@ -212,6 +284,9 @@ impl Adas {
         let brake = control.accel.min(Accel::ZERO);
         self.alerts
             .step_into(engaged && alc_out.saturated, brake, &mut out.new_alerts);
+        if let Some(kind) = forced_alert {
+            out.new_alerts.push(kind);
+        }
         if let Some(kind) = degradation_alert {
             out.new_alerts.push(kind);
         }

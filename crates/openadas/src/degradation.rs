@@ -147,6 +147,34 @@ impl DegradationMonitor {
         None
     }
 
+    /// Forces the ladder up to `target` (e.g. on a CAN-IDS alarm under an
+    /// acting defense policy). Escalate-only and
+    /// edge-triggered like [`Self::step`]: a target at or below the current
+    /// rung is a no-op, and the alert is returned exactly once per
+    /// escalation. Recovery still goes through the normal hysteresis path —
+    /// a forced rung is held by the caller re-forcing it while the evidence
+    /// persists, not by the monitor latching it.
+    pub fn force(&mut self, target: DegradationState) -> Option<AlertKind> {
+        if target.rank() <= self.state.rank() {
+            return None;
+        }
+        self.state = target;
+        // Restart the hysteresis clock: without this, a force landing while
+        // every stream is healthy (a CAN-side alarm — the sensors are fine,
+        // the bus is not) would recover on the very next step() because the
+        // fresh streak is already saturated, and the caller re-forcing each
+        // alarm tick would flap the rung and spam the alert edge.
+        self.fresh_streak = 0;
+        Some(match self.state {
+            DegradationState::FailSafe => AlertKind::FailSafeStop,
+            DegradationState::DegradedAlcOff | DegradationState::DegradedAccOff => {
+                AlertKind::AdasDegraded
+            }
+            // Unreachable: rank() > means the target is above Nominal.
+            DegradationState::Nominal => AlertKind::AdasDegraded,
+        })
+    }
+
     /// The rung the current watchdog counters call for, ignoring hysteresis.
     fn target(&self) -> DegradationState {
         let gps = self.gps_stale >= DEGRADE_AFTER;
@@ -274,6 +302,34 @@ mod tests {
         }
         assert_eq!(transitions, 0, "hysteresis swallows the flapping");
         assert_eq!(m.state(), DegradationState::DegradedAccOff);
+    }
+
+    #[test]
+    fn force_is_escalate_only_and_edge_triggered() {
+        let mut m = DegradationMonitor::new();
+        assert_eq!(
+            m.force(DegradationState::DegradedAccOff),
+            Some(AlertKind::AdasDegraded)
+        );
+        assert_eq!(m.state(), DegradationState::DegradedAccOff);
+        // Re-forcing the same rung is silent; forcing below is a no-op.
+        assert_eq!(m.force(DegradationState::DegradedAccOff), None);
+        assert_eq!(m.force(DegradationState::DegradedAlcOff), None);
+        assert_eq!(m.state(), DegradationState::DegradedAccOff);
+        assert_eq!(m.force(DegradationState::FailSafe), Some(AlertKind::FailSafeStop));
+        assert_eq!(m.state(), DegradationState::FailSafe);
+    }
+
+    #[test]
+    fn forced_rung_recovers_through_normal_hysteresis() {
+        let mut m = DegradationMonitor::new();
+        m.force(DegradationState::FailSafe);
+        // Healthy streams and no re-forcing: the full hysteresis window
+        // later, the ladder is back to nominal.
+        for _ in 0..RECOVERY_TICKS {
+            m.step(true, true, true);
+        }
+        assert_eq!(m.state(), DegradationState::Nominal);
     }
 
     #[test]

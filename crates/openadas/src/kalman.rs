@@ -91,6 +91,22 @@ impl Kalman1D {
         self.p = (self.p + self.q).clamp(P_MIN, P_MAX);
     }
 
+    /// Normalized innovation of a candidate measurement `z`: the absolute
+    /// residual `|z - x|` in units of the innovation standard deviation
+    /// `sqrt(p + r)`. A chi-square-style plausibility gate compares this
+    /// against a sigma threshold *before* fusing the measurement — the
+    /// filter itself is left untouched.
+    ///
+    /// A non-finite `z` reports an infinite innovation (maximally
+    /// implausible), mirroring [`Self::update`]'s outright rejection.
+    // adas-lint: allow(R1, reason = "normalized innovation is dimensionless: a residual divided by its own standard deviation")
+    pub fn normalized_innovation(&self, z: f64) -> f64 {
+        if !z.is_finite() {
+            return f64::INFINITY;
+        }
+        (z - self.x).abs() / (self.p + self.r).sqrt().max(1e-12)
+    }
+
     /// Measurement-update: fuses measurement `z`, returning the new
     /// estimate. Implements `x <- x + K (z - x)`.
     ///
@@ -164,6 +180,17 @@ mod tests {
             }
         }
         assert!(worst < 0.1, "filter output varies far less than input");
+    }
+
+    #[test]
+    fn normalized_innovation_scales_with_residual_and_rejects_non_finite() {
+        let kf = Kalman1D::new(10.0, 0.5, 0.01, 0.5);
+        // sqrt(p + r) = 1.0, so the normalized innovation equals the residual.
+        assert!((kf.normalized_innovation(10.0) - 0.0).abs() < 1e-12);
+        assert!((kf.normalized_innovation(13.0) - 3.0).abs() < 1e-12);
+        assert!((kf.normalized_innovation(7.0) - 3.0).abs() < 1e-12);
+        assert_eq!(kf.normalized_innovation(f64::NAN), f64::INFINITY);
+        assert_eq!(kf.normalized_innovation(f64::INFINITY), f64::INFINITY);
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod degradation;
 mod kalman;
 mod panda;
 mod perception;
+mod plausibility;
 mod radar;
 mod safety;
 mod state;
@@ -53,6 +54,7 @@ pub use degradation::{
 pub use kalman::Kalman1D;
 pub use panda::{PandaSafety, PandaVerdict};
 pub use perception::{LaneEstimate, LaneProcessor};
+pub use plausibility::{GateConfig, PerceptionGates, STALE_AFTER_TICKS};
 pub use radar::{LeadEstimate, LeadTracker};
 pub use safety::SafetyLimits;
 pub use state::CarStateEstimator;

@@ -69,6 +69,20 @@ impl LeadTracker {
         }
     }
 
+    /// Normalized innovations `(distance, speed)` a detection would have
+    /// against the current track filters, or `None` when there is no track
+    /// to compare against (the gate then falls back to its jump limits).
+    // adas-lint: allow(R1, reason = "normalized innovations are dimensionless (residual over its own sigma)")
+    pub fn innovations(&self, lead: &LeadTrack) -> Option<(f64, f64)> {
+        match (&self.dist, &self.speed) {
+            (Some(d), Some(v)) => Some((
+                d.normalized_innovation(lead.d_rel.raw()),
+                v.normalized_innovation(lead.v_lead.mps()),
+            )),
+            _ => None,
+        }
+    }
+
     /// Feeds one radar sample.
     pub fn update(&mut self, radar: &RadarState) -> Option<LeadEstimate> {
         match radar.lead {

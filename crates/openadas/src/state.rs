@@ -44,6 +44,17 @@ impl CarStateEstimator {
         self.state.cruise_enabled
     }
 
+    /// Normalized innovation a GPS speed sample would have against the
+    /// current filter state, or `None` before the first sample anchored the
+    /// filter. Used by the plausibility gate to vet a reading *before*
+    /// [`Self::update`] fuses it.
+    // adas-lint: allow(R1, reason = "normalized innovation is dimensionless (residual over its own sigma)")
+    pub fn speed_innovation(&self, gps: &GpsLocation) -> Option<f64> {
+        self.speed_filter
+            .as_ref()
+            .map(|f| f.normalized_innovation(gps.speed.mps()))
+    }
+
     /// Feeds one GPS sample and the steering angle the controller last
     /// commanded; returns the fused state.
     pub fn update(&mut self, gps: &GpsLocation, applied_steer: Angle) -> CarState {

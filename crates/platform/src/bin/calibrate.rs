@@ -72,7 +72,7 @@ fn main() {
                     seed,
                     driver: DriverConfig::alert(),
                     panda_enabled: false,
-                    defenses_enabled: false,
+                    defense: defense::DefensePolicy::Off,
                 });
             }
         }

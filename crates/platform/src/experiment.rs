@@ -2,6 +2,7 @@
 //! matrices for each attack type and strategy, run in parallel.
 
 use attack_core::{AttackConfig, AttackType, StrategyKind, ValueMode};
+use defense::DefensePolicy;
 use driver_model::DriverConfig;
 use driving_sim::Scenario;
 use serde::{Deserialize, Serialize};
@@ -87,8 +88,8 @@ pub struct RunSpec {
     pub driver: DriverConfig,
     /// Panda enforcement.
     pub panda_enabled: bool,
-    /// §V defenses observing the run.
-    pub defenses_enabled: bool,
+    /// Defense deployment for the run.
+    pub defense: DefensePolicy,
 }
 
 impl RunSpec {
@@ -100,7 +101,7 @@ impl RunSpec {
             attack: self.attack,
             driver: self.driver,
             panda_enabled: self.panda_enabled,
-            defenses_enabled: self.defenses_enabled,
+            defense: self.defense,
             hazard_params: HazardParams::default(),
             trace,
             faults: faultinj::FaultSchedule::empty(),
@@ -140,7 +141,7 @@ pub fn plan_attack_campaign(cfg: &CampaignConfig, attack_type: AttackType) -> Ve
                     seed,
                     driver: cfg.driver,
                     panda_enabled: cfg.panda_enabled,
-                    defenses_enabled: false,
+                    defense: DefensePolicy::Off,
                 });
             }
         }
@@ -159,7 +160,7 @@ pub fn plan_no_attack_campaign(reps: u32, base_seed: u64, driver: DriverConfig) 
                 seed: mix_seed(base_seed, &[si as u64, rep as u64, 999]),
                 driver,
                 panda_enabled: false,
-                defenses_enabled: false,
+                defense: DefensePolicy::Off,
             });
         }
     }

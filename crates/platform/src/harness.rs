@@ -11,17 +11,22 @@
 //! ```
 
 use attack_core::{AttackConfig, AttackEngine};
-use defense::{ContextMonitor, ContextObservation, ControlInvariantDetector};
+use defense::{
+    CanIds, ContextMonitor, ContextObservation, ControlInvariantDetector, DefensePolicy,
+    IdsConfig, IdsVerdict,
+};
 use driver_model::{Driver, DriverConfig, DriverPhase, Observation};
 use driving_sim::{ActuatorCommand, Scenario, SensorSuite, World, RADAR_RANGE};
 use faultinj::{FaultEngine, FaultSchedule};
 use msgbus::schema::CarControl;
 use msgbus::{Bus, Payload};
-use openadas::{Adas, AdasOutput, CommandEncoder, DegradationState, PandaSafety};
+use openadas::{Adas, AdasOutput, CommandEncoder, DegradationState, GateConfig, PandaSafety};
 use serde::{Deserialize, Serialize};
 use units::{Seconds, Tick};
 
-use crate::trace::{DegradationCode, DriverPhaseCode, TickRecord, TraceConfig, TraceRecorder};
+use crate::trace::{
+    DegradationCode, DriverPhaseCode, IdsCode, TickRecord, TraceConfig, TraceRecorder,
+};
 use crate::{AccidentKind, HazardDetector, HazardKind, HazardParams};
 
 /// Configuration of one simulation run.
@@ -38,11 +43,13 @@ pub struct HarnessConfig {
     /// Whether Panda-style firmware checks gate the actuator frames. The
     /// paper's CARLA setup leaves them disabled.
     pub panda_enabled: bool,
-    /// Whether the §V defenses (control-invariant detector + context-aware
-    /// command monitor) observe the run. Detection is recorded but — like
-    /// the paper's study — not acted upon; the `defense` bench evaluates
-    /// whether the detections arrive in time.
-    pub defenses_enabled: bool,
+    /// How the defense stack is deployed: which detectors attach
+    /// (control-invariant, context monitor, plausibility gates, CAN IDS)
+    /// and whether their verdicts act on the vehicle. `Off` reproduces the
+    /// paper's undefended ADAS; `Observe` is the old record-only
+    /// `defenses_enabled` mode; `Degrade`/`FailSafe` make detections force
+    /// the degradation ladder.
+    pub defense: DefensePolicy,
     /// Hazard detection thresholds.
     pub hazard_params: HazardParams,
     /// Flight-recorder settings. Disabled by default; when disabled the
@@ -63,7 +70,7 @@ impl HarnessConfig {
             attack: None,
             driver: DriverConfig::alert(),
             panda_enabled: false,
-            defenses_enabled: false,
+            defense: DefensePolicy::Off,
             hazard_params: HazardParams::default(),
             trace: TraceConfig::disabled(),
             faults: FaultSchedule::empty(),
@@ -86,6 +93,11 @@ impl HarnessConfig {
     /// The same run with a fault schedule attached.
     pub fn with_faults(self, faults: FaultSchedule) -> Self {
         Self { faults, ..self }
+    }
+
+    /// The same run with the given defense policy.
+    pub fn with_defense(self, defense: DefensePolicy) -> Self {
+        Self { defense, ..self }
     }
 }
 
@@ -138,6 +150,11 @@ pub struct SimResult {
     pub recovery_latency: Option<Seconds>,
     /// Fault injections performed by the fault engine.
     pub faults_injected: u64,
+    /// When the CAN IDS first alarmed (detectors attached only).
+    pub ids_detected: Option<Seconds>,
+    /// Readings withheld (or, under `Observe`, merely flagged) by the
+    /// perception plausibility gates over the whole run.
+    pub gate_rejections: u64,
 }
 
 impl SimResult {
@@ -176,6 +193,7 @@ pub struct Harness {
     hazards: HazardDetector,
     invariant: Option<ControlInvariantDetector>,
     monitor: Option<ContextMonitor>,
+    ids: Option<CanIds>,
     last_cmd: CarControl,
     alert_events: u64,
     ever_disengaged: bool,
@@ -204,7 +222,20 @@ impl Harness {
             a.seed = a.seed.wrapping_add(config.seed);
             AttackEngine::new(&bus, a)
         });
-        let adas = Adas::new(&bus, config.scenario.cruise_speed);
+        // With detectors attached the ADAS carries plausibility gates; the
+        // gates only *withhold* readings under an acting policy, otherwise
+        // they observe and count. With `Off` the construction is exactly
+        // the undefended baseline, bit for bit.
+        let adas = if config.defense.detectors_attached() {
+            let gates = if config.defense.acts() {
+                GateConfig::enforcing()
+            } else {
+                GateConfig::observing()
+            };
+            Adas::with_gates(&bus, config.scenario.cruise_speed, gates)
+        } else {
+            Adas::new(&bus, config.scenario.cruise_speed)
+        };
         Self {
             bus,
             world,
@@ -216,9 +247,17 @@ impl Harness {
             actuator_side: CommandEncoder::new(),
             hazards: HazardDetector::new(config.hazard_params),
             invariant: config
-                .defenses_enabled
+                .defense
+                .detectors_attached()
                 .then(ControlInvariantDetector::default),
-            monitor: config.defenses_enabled.then(ContextMonitor::default),
+            monitor: config
+                .defense
+                .detectors_attached()
+                .then(ContextMonitor::default),
+            ids: config
+                .defense
+                .detectors_attached()
+                .then(|| CanIds::new(IdsConfig::default())),
             last_cmd: CarControl::default(),
             alert_events: 0,
             ever_disengaged: false,
@@ -276,14 +315,18 @@ impl Harness {
             Some(eng) => {
                 let mut frame = self.sensors.sample(&self.world);
                 let plan = eng.apply_sensors(tick, &mut frame);
-                if let Some(gps) = plan.gps {
-                    self.bus.publish(tick, Payload::GpsLocationExternal(gps));
+                // Each publish carries the plan's *sample* stamp: a latency
+                // or bus-delay replay arrives stamped with the tick it was
+                // sampled at, so the ADAS staleness watchdog sees its true
+                // age instead of a forged fresh timestamp.
+                if let Some((stamp, gps)) = plan.gps {
+                    self.bus.publish(stamp, Payload::GpsLocationExternal(gps));
                 }
-                if let Some(lane) = plan.lane {
-                    self.bus.publish(tick, Payload::ModelV2(lane));
+                if let Some((stamp, lane)) = plan.lane {
+                    self.bus.publish(stamp, Payload::ModelV2(lane));
                 }
-                if let Some(radar) = plan.radar {
-                    self.bus.publish(tick, Payload::RadarState(radar));
+                if let Some((stamp, radar)) = plan.radar {
+                    self.bus.publish(stamp, Payload::RadarState(radar));
                 }
                 frame
             }
@@ -344,6 +387,32 @@ impl Harness {
         // fault engine does not forge valid frames).
         if let Some(eng) = self.faults.as_mut() {
             eng.apply_can(tick, &mut out.frames);
+        }
+
+        // 4c. CAN IDS watches the frames as delivered — after the MITM and
+        // any bus fault, before the receivers. Under an acting policy an
+        // alarm forces the degradation ladder; the request lands at the top
+        // of the *next* control cycle (one-tick actuation delay, like a
+        // real supervisor task).
+        let ids_verdict = match self.ids.as_mut() {
+            Some(ids) => ids.observe(tick, &out.frames, out.engaged),
+            None => IdsVerdict::Nominal,
+        };
+        match self.config.defense {
+            DefensePolicy::Off | DefensePolicy::Observe => {}
+            DefensePolicy::Degrade => {
+                if ids_verdict == IdsVerdict::Alarm {
+                    self.adas
+                        .request_degradation(DegradationState::DegradedAccOff);
+                }
+            }
+            DefensePolicy::FailSafe => {
+                if ids_verdict == IdsVerdict::Alarm
+                    || out.degradation != DegradationState::Nominal
+                {
+                    self.adas.request_degradation(DegradationState::FailSafe);
+                }
+            }
         }
 
         // 5. Firmware safety checks (disabled in the paper's setup).
@@ -493,6 +562,12 @@ impl Harness {
                 DegradationState::DegradedAccOff => DegradationCode::AccOff,
                 DegradationState::FailSafe => DegradationCode::FailSafe,
             },
+            gate_rejections: self.adas.gate_rejections(),
+            ids: match self.ids.as_ref().map_or(IdsVerdict::Nominal, CanIds::verdict) {
+                IdsVerdict::Nominal => IdsCode::Nominal,
+                IdsVerdict::Suspicious => IdsCode::Suspicious,
+                IdsVerdict::Alarm => IdsCode::Alarm,
+            },
         });
     }
 
@@ -590,6 +665,12 @@ impl Harness {
                     .map(|end| Tick::new(at.index().saturating_sub(end)).time())
             }),
             faults_injected: self.faults.as_ref().map_or(0, FaultEngine::faults_injected),
+            ids_detected: self
+                .ids
+                .as_ref()
+                .and_then(CanIds::detected_at)
+                .map(Tick::time),
+            gate_rejections: self.adas.gate_rejections(),
         }
     }
 }

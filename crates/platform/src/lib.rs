@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod defense_campaign;
 pub mod experiment;
 pub mod figures;
 mod harness;
@@ -40,6 +41,7 @@ pub mod resilience;
 pub mod tables;
 pub mod trace;
 
+pub use defense::DefensePolicy;
 pub use harness::{Harness, HarnessConfig, SimResult};
 pub use hazard::{AccidentKind, HazardDetector, HazardKind, HazardParams};
 pub use trace::{TraceConfig, TraceRecorder};

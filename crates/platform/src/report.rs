@@ -104,6 +104,8 @@ mod tests {
             first_failsafe: None,
             recovery_latency: None,
             faults_injected: 0,
+            ids_detected: None,
+            gate_rejections: 0,
         }
     }
 

@@ -14,6 +14,7 @@
 //! bit-reproducible across runs and worker counts (asserted by the
 //! `resilience` bench).
 
+use defense::DefensePolicy;
 use driving_sim::Scenario;
 use faultinj::{FaultKind, FaultSchedule, FaultSpec, FaultTarget};
 use serde::{Deserialize, Serialize};
@@ -37,12 +38,26 @@ pub struct ResilienceConfig {
     pub base_seed: u64,
     /// Repetitions per (fault kind, intensity, scenario cell).
     pub reps: u32,
+    /// Defense deployment for every run. Defaults to `Degrade`: the
+    /// resilience question is how gracefully the *defended* system fails;
+    /// use [`with_defense`](Self::with_defense) for the undefended baseline.
+    pub defense: DefensePolicy,
 }
 
 impl ResilienceConfig {
-    /// A campaign with the given base seed and repetition count.
+    /// A campaign with the given base seed and repetition count, with the
+    /// acting `Degrade` defense deployed.
     pub fn new(base_seed: u64, reps: u32) -> Self {
-        Self { base_seed, reps }
+        Self {
+            base_seed,
+            reps,
+            defense: DefensePolicy::Degrade,
+        }
+    }
+
+    /// The same campaign under a different defense deployment.
+    pub fn with_defense(self, defense: DefensePolicy) -> Self {
+        Self { defense, ..self }
     }
 }
 
@@ -57,6 +72,8 @@ pub struct ResilienceSpec {
     pub scenario: Scenario,
     /// Run seed (drives sensor noise and the fault engine's draws).
     pub seed: u64,
+    /// Defense deployment for the run.
+    pub defense: DefensePolicy,
 }
 
 impl ResilienceSpec {
@@ -65,7 +82,9 @@ impl ResilienceSpec {
     pub fn harness_config(&self) -> HarnessConfig {
         let spec = FaultSpec::window(self.kind, FaultTarget::All, FAULT_START, FAULT_DURATION)
             .with_intensity(self.intensity);
-        HarnessConfig::no_attack(self.scenario, self.seed).with_faults(FaultSchedule::single(spec))
+        HarnessConfig::no_attack(self.scenario, self.seed)
+            .with_faults(FaultSchedule::single(spec))
+            .with_defense(self.defense)
     }
 
     /// Executes the run.
@@ -90,6 +109,7 @@ pub fn plan_resilience_campaign(cfg: &ResilienceConfig) -> Vec<ResilienceSpec> {
                             cfg.base_seed,
                             &[kind.index() as u64, ii as u64, si as u64, rep as u64],
                         ),
+                        defense: cfg.defense,
                     });
                 }
             }
@@ -116,14 +136,19 @@ pub struct ResilienceCell {
     /// Runs with at least one FCW event. No attack is mounted, so every
     /// FCW raised under fault injection is spurious.
     pub false_fcw_runs: u64,
+    /// Runs that left the nominal state at least once.
+    pub degraded_runs: u64,
     /// Mean seconds per run spent in any degraded state.
     pub mean_degraded_s: f64,
     /// Mean seconds per run spent in the fail-safe state.
     pub mean_failsafe_s: f64,
     /// Runs that returned to nominal after their fault window closed.
     pub recovered_runs: u64,
-    /// Mean recovery latency over the recovered runs (s).
-    pub mean_recovery_s: f64,
+    /// Mean recovery latency over the recovered runs (s). `None` when no
+    /// run recovered — previously this rendered as `0.000`, which read as
+    /// "instant recovery" when the truth was "never recovered" (or "never
+    /// degraded at all").
+    pub mean_recovery_s: Option<f64>,
     /// Total fault injections across the cell.
     pub faults_injected: u64,
 }
@@ -145,24 +170,33 @@ impl ResilienceCell {
             accident_runs: results.iter().filter(|r| r.accident.is_some()).count() as u64,
             failsafe_runs: results.iter().filter(|r| r.failsafe_ticks > 0).count() as u64,
             false_fcw_runs: results.iter().filter(|r| r.fcw_events > 0).count() as u64,
+            degraded_runs: results.iter().filter(|r| r.degraded_ticks > 0).count() as u64,
             mean_degraded_s: mean(results.iter().map(|r| r.degraded_ticks as f64 * dt).sum()),
             mean_failsafe_s: mean(results.iter().map(|r| r.failsafe_ticks as f64 * dt).sum()),
             recovered_runs: recovery.len() as u64,
-            mean_recovery_s: if recovery.is_empty() {
-                0.0
-            } else {
-                recovery.iter().sum::<f64>() / recovery.len() as f64
-            },
+            mean_recovery_s: (!recovery.is_empty())
+                .then(|| recovery.iter().sum::<f64>() / recovery.len() as f64),
             faults_injected: results.iter().map(|r| r.faults_injected).sum(),
         }
     }
 
     fn to_json(&self) -> String {
+        // A cell where nothing ever degraded has no recovery story at all:
+        // the field is omitted. A cell that degraded but never recovered
+        // reports `null` — a finding, not a zero.
+        let recovery_field = if self.degraded_runs == 0 {
+            String::new()
+        } else {
+            match self.mean_recovery_s {
+                Some(s) => format!(" \"mean_recovery_s\": {s:.3},"),
+                None => " \"mean_recovery_s\": null,".to_string(),
+            }
+        };
         format!(
             "{{\"fault\": \"{}\", \"intensity\": {:.2}, \"runs\": {}, \
 \"hazardous_runs\": {}, \"accident_runs\": {}, \"failsafe_runs\": {}, \
-\"false_fcw_runs\": {}, \"mean_degraded_s\": {:.3}, \"mean_failsafe_s\": {:.3}, \
-\"recovered_runs\": {}, \"mean_recovery_s\": {:.3}, \"faults_injected\": {}}}",
+\"false_fcw_runs\": {}, \"degraded_runs\": {}, \"mean_degraded_s\": {:.3}, \
+\"mean_failsafe_s\": {:.3}, \"recovered_runs\": {},{} \"faults_injected\": {}}}",
             self.fault,
             self.intensity,
             self.runs,
@@ -170,10 +204,11 @@ impl ResilienceCell {
             self.accident_runs,
             self.failsafe_runs,
             self.false_fcw_runs,
+            self.degraded_runs,
             self.mean_degraded_s,
             self.mean_failsafe_s,
             self.recovered_runs,
-            self.mean_recovery_s,
+            recovery_field,
             self.faults_injected,
         )
     }
@@ -187,6 +222,8 @@ pub struct ResilienceReport {
     pub base_seed: u64,
     /// Repetitions per cell the campaign was planned with.
     pub reps: u32,
+    /// Defense deployment every run was executed under.
+    pub defense: DefensePolicy,
     /// Total runs executed.
     pub total_runs: u64,
     /// Per-(fault, intensity) aggregates.
@@ -204,10 +241,12 @@ impl ResilienceReport {
             .collect();
         format!(
             "{{\n  \"bench\": \"resilience\",\n  \"base_seed\": {},\n  \
-\"reps_per_cell\": {},\n  \"fault_start_tick\": {},\n  \"fault_duration_ticks\": {},\n  \
+\"reps_per_cell\": {},\n  \"defense_policy\": \"{}\",\n  \"fault_start_tick\": {},\n  \
+\"fault_duration_ticks\": {},\n  \
 \"total_runs\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
             self.base_seed,
             self.reps,
+            self.defense.label(),
             FAULT_START,
             FAULT_DURATION,
             self.total_runs,
@@ -236,6 +275,7 @@ pub fn run_resilience_campaign_with(
     ResilienceReport {
         base_seed: cfg.base_seed,
         reps: cfg.reps,
+        defense: cfg.defense,
         total_runs: results.len() as u64,
         cells,
     }
@@ -291,12 +331,40 @@ mod tests {
         let report = ResilienceReport {
             base_seed: 7,
             reps: 0,
+            defense: DefensePolicy::Degrade,
             total_runs: 0,
             cells: vec![cell],
         };
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"resilience\""));
+        assert!(json.contains("\"defense_policy\": \"degrade\""));
         assert!(json.contains("\"fault\": \"sensor_dropout\""));
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn recovery_field_reflects_what_actually_happened() {
+        // No run degraded: the cell has no recovery story, the field is
+        // omitted entirely.
+        let cell = ResilienceCell::from_results(FaultKind::SensorDropout, 0.3, &[]);
+        assert_eq!(cell.degraded_runs, 0);
+        assert_eq!(cell.mean_recovery_s, None);
+        assert!(!cell.to_json().contains("mean_recovery_s"));
+
+        // A run degraded but never recovered: `null`, not a fake 0.000.
+        let cfg = crate::HarnessConfig::no_attack(Scenario::matrix()[0], 1);
+        let mut result = crate::Harness::new(cfg).result_so_far();
+        result.degraded_ticks = 40;
+        result.recovery_latency = None;
+        let cell = ResilienceCell::from_results(FaultKind::SensorDropout, 1.0, &[result.clone()]);
+        assert_eq!(cell.degraded_runs, 1);
+        assert_eq!(cell.mean_recovery_s, None);
+        assert!(cell.to_json().contains("\"mean_recovery_s\": null"));
+
+        // A recovered run reports the real mean.
+        result.recovery_latency = Some(units::Seconds::new(1.5));
+        let cell = ResilienceCell::from_results(FaultKind::SensorDropout, 1.0, &[result]);
+        assert_eq!(cell.mean_recovery_s, Some(1.5));
+        assert!(cell.to_json().contains("\"mean_recovery_s\": 1.500"));
     }
 }

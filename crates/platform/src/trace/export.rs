@@ -14,7 +14,7 @@ lead_s,lead_v,gap,hwt,engaged,acc_desired,acc_cmd,alc_desired_deg,alc_cmd_deg,\
 alc_saturated,cmd_accel,cmd_steer_deg,applied_accel,applied_steer_deg,\
 bus_total,attack_active,frames_rewritten,panda_blocked,alert_events,\
 driver_phase,hazard_mask,h3_streak,collided,\
-fault_mask,faults_injected,degradation";
+fault_mask,faults_injected,degradation,gate_rejections,ids";
 
 fn cell(x: f64) -> String {
     if x.is_nan() {
@@ -26,7 +26,7 @@ fn cell(x: f64) -> String {
 
 fn csv_row(r: &TickRecord) -> String {
     format!(
-        "{},{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         r.tick,
         r.time_secs(),
         cell(r.ego_s),
@@ -60,6 +60,8 @@ fn csv_row(r: &TickRecord) -> String {
         r.fault_mask,
         r.faults_injected,
         r.degradation.as_char(),
+        r.gate_rejections,
+        r.ids.as_char(),
     )
 }
 
@@ -103,7 +105,8 @@ pub fn to_json<'a>(records: impl IntoIterator<Item = &'a TickRecord>) -> String 
 \"cmd\":{{\"accel\":{},\"steer_deg\":{}}},\"applied\":{{\"accel\":{},\"steer_deg\":{}}},\
 \"bus\":{{{}}},\"attack_active\":{},\"frames_rewritten\":{},\"panda_blocked\":{},\
 \"alert_events\":{},\"driver_phase\":\"{}\",\"hazard_mask\":{},\"h3_streak\":{},\"collided\":{},\
-\"fault_mask\":{},\"faults_injected\":{},\"degradation\":\"{}\"}}",
+\"fault_mask\":{},\"faults_injected\":{},\"degradation\":\"{}\",\
+\"gate_rejections\":{},\"ids\":\"{}\"}}",
             r.tick,
             r.time_secs(),
             json_num(r.ego_s),
@@ -137,6 +140,8 @@ pub fn to_json<'a>(records: impl IntoIterator<Item = &'a TickRecord>) -> String 
             r.fault_mask,
             r.faults_injected,
             r.degradation.as_char(),
+            r.gate_rejections,
+            r.ids.as_char(),
         ));
     }
     out.push_str("\n]\n");
@@ -247,6 +252,8 @@ pub fn diff<'a>(
             && a.fault_mask == b.fault_mask
             && a.faults_injected == b.faults_injected
             && a.degradation == b.degradation
+            && a.gate_rejections == b.gate_rejections
+            && a.ids == b.ids
     }
     let mut max_deltas: Vec<(&'static str, f64, u64)> =
         FIELDS.iter().map(|(n, _)| (*n, 0.0, 0)).collect();
@@ -290,7 +297,7 @@ pub fn diff<'a>(
 
 #[cfg(test)]
 mod tests {
-    use super::super::record::{DegradationCode, DriverPhaseCode};
+    use super::super::record::{DegradationCode, DriverPhaseCode, IdsCode};
     use super::*;
 
     fn record(tick: u64, ego_v: f64) -> TickRecord {
@@ -327,6 +334,8 @@ mod tests {
             fault_mask: 0,
             faults_injected: 0,
             degradation: DegradationCode::Nominal,
+            gate_rejections: 0,
+            ids: IdsCode::Nominal,
         }
     }
 

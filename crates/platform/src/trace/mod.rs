@@ -19,7 +19,9 @@ mod ring;
 
 pub use counters::{CampaignMetrics, Histogram, RunMetrics};
 pub use export::{diff, to_csv, to_json, TraceDiff, CSV_HEADER};
-pub use record::{DegradationCode, DriverPhaseCode, TickRecord, TraceEvent, TraceEventKind};
+pub use record::{
+    DegradationCode, DriverPhaseCode, IdsCode, TickRecord, TraceEvent, TraceEventKind,
+};
 pub use ring::TraceRing;
 
 use crate::HazardKind;
@@ -145,6 +147,10 @@ impl TraceRecorder {
         if r.degradation != prev_degradation {
             self.push_event(tick, TraceEventKind::DegradationChanged(r.degradation));
         }
+        let prev_ids = prev.map(|p| p.ids).unwrap_or(IdsCode::Nominal);
+        if r.ids == IdsCode::Alarm && prev_ids != IdsCode::Alarm {
+            self.push_event(tick, TraceEventKind::IdsAlarm);
+        }
     }
 
     fn push_event(&mut self, tick: u64, kind: TraceEventKind) {
@@ -240,6 +246,8 @@ mod tests {
             fault_mask: 0,
             faults_injected: 0,
             degradation: DegradationCode::Nominal,
+            gate_rejections: 0,
+            ids: IdsCode::Nominal,
         }
     }
 
@@ -283,6 +291,30 @@ mod tests {
             vec![TraceEventKind::DriverNoticed, TraceEventKind::DriverEngaged],
             "a Monitoring->Engaged jump implies the driver noticed too"
         );
+    }
+
+    #[test]
+    fn ids_alarm_edge_is_one_event_until_it_clears() {
+        let mut rec = TraceRecorder::new(TraceConfig::enabled(8));
+        rec.record(base_record(0));
+        for t in 1..4u64 {
+            let mut r = base_record(t);
+            r.ids = IdsCode::Alarm;
+            rec.record(r);
+        }
+        let mut r4 = base_record(4);
+        r4.ids = IdsCode::Suspicious;
+        rec.record(r4);
+        let mut r5 = base_record(5);
+        r5.ids = IdsCode::Alarm;
+        rec.record(r5);
+        let alarms: Vec<u64> = rec
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::IdsAlarm)
+            .map(|e| e.tick)
+            .collect();
+        assert_eq!(alarms, vec![1, 5], "one event per entry into Alarm");
     }
 
     #[test]

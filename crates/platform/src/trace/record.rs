@@ -49,6 +49,28 @@ impl DegradationCode {
     }
 }
 
+/// CAN-IDS verdict at the end of the tick, one byte per tick in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdsCode {
+    /// No check has a non-zero score (or no IDS is attached).
+    Nominal,
+    /// Some score is non-zero but below its threshold.
+    Suspicious,
+    /// A score crossed its threshold.
+    Alarm,
+}
+
+impl IdsCode {
+    /// Single-character rendering for trace tables (`-`, `S`, `!`).
+    pub fn as_char(self) -> char {
+        match self {
+            IdsCode::Nominal => '-',
+            IdsCode::Suspicious => 'S',
+            IdsCode::Alarm => '!',
+        }
+    }
+}
+
 /// One tick of the Fig. 5 pipeline, captured *after* `world.step` and the
 /// hazard check so every field reflects the executed cycle.
 ///
@@ -124,6 +146,10 @@ pub struct TickRecord {
     pub faults_injected: u64,
     /// ADAS degradation-ladder state at the end of the tick.
     pub degradation: DegradationCode,
+    /// Cumulative readings withheld/flagged by the plausibility gates.
+    pub gate_rejections: u64,
+    /// CAN-IDS verdict at the end of the tick.
+    pub ids: IdsCode,
 }
 
 impl TickRecord {
@@ -157,6 +183,8 @@ pub enum TraceEventKind {
     Collision,
     /// The ADAS degradation ladder moved to a new state.
     DegradationChanged(DegradationCode),
+    /// The CAN IDS crossed into its alarm state.
+    IdsAlarm,
 }
 
 /// A [`TraceEventKind`] stamped with its tick.
@@ -182,6 +210,7 @@ impl std::fmt::Display for TraceEvent {
             TraceEventKind::DegradationChanged(code) => {
                 format!("degradation -> {}", code.as_char())
             }
+            TraceEventKind::IdsAlarm => "CAN IDS alarm".to_string(),
         };
         write!(f, "t={t:6.2}s  tick {:>5}  {label}", self.tick)
     }

@@ -121,6 +121,8 @@ mod tests {
             fault_mask: 0,
             faults_injected: 0,
             degradation: DegradationCode::Nominal,
+            gate_rejections: 0,
+            ids: crate::trace::IdsCode::Nominal,
         }
     }
 

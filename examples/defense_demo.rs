@@ -14,7 +14,7 @@
 
 use attack_core::{AttackConfig, AttackType, StrategyKind, ValueMode};
 use driving_sim::{Scenario, ScenarioId};
-use platform::{Harness, HarnessConfig};
+use platform::{DefensePolicy, Harness, HarnessConfig};
 use units::Distance;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
         ..AttackConfig::default()
     };
     let mut cfg = HarnessConfig::with_attack(scenario, 7, attack);
-    cfg.defenses_enabled = true;
+    cfg.defense = DefensePolicy::Observe;
     let result = Harness::new(cfg).run();
 
     let t_a = result.attack_activated.expect("attack triggers in S1");
