@@ -18,7 +18,7 @@
 //! predicted speed never crosses `1.1 v_cruise`.
 
 use serde::{Deserialize, Serialize};
-use units::{Accel, Angle, Speed, DT};
+use units::{limits, Accel, Angle, Speed, DT};
 
 use crate::{AttackAction, SteerDirection, ValueMode};
 
@@ -93,16 +93,18 @@ pub struct CorruptionPolicy {
 }
 
 /// Fixed-mode values: the ADAS software limits (Table III footnote 1).
-const FIXED_ACCEL: Accel = Accel::from_mps2(2.4);
-const FIXED_BRAKE: Accel = Accel::from_mps2(-4.0);
-const FIXED_STEER_DEG: f64 = 0.5;
+/// The attacker reads the same canonical constants the defender enforces —
+/// the paper's premise that fixed values sit exactly at the checked bounds.
+const FIXED_ACCEL: Accel = Accel::from_mps2(limits::SW_ACCEL_MAX_MPS2);
+const FIXED_BRAKE: Accel = Accel::from_mps2(limits::SW_BRAKE_MIN_MPS2);
+const FIXED_STEER_DEG: f64 = limits::SW_STEER_MAX_DEG;
 
 /// Strategic-mode values: the strict envelope (Table III footnote 2).
-const STRATEGIC_ACCEL: Accel = Accel::from_mps2(2.0);
-const STRATEGIC_BRAKE: Accel = Accel::from_mps2(-3.5);
-const STRATEGIC_STEER_DEG: f64 = 0.25;
+const STRATEGIC_ACCEL: Accel = Accel::from_mps2(limits::STRICT_ACCEL_MAX_MPS2);
+const STRATEGIC_BRAKE: Accel = Accel::from_mps2(limits::STRICT_BRAKE_MIN_MPS2);
+const STRATEGIC_STEER_DEG: f64 = limits::STRICT_STEER_MAX_DEG;
 /// Eq. 1 overspeed ceiling.
-const OVERSPEED_FACTOR: f64 = 1.1;
+const OVERSPEED_FACTOR: f64 = limits::STRICT_OVERSPEED_FACTOR;
 
 impl CorruptionPolicy {
     /// Creates a policy for the given value mode.

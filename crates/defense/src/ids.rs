@@ -20,7 +20,7 @@
 use canbus::checksum::verify_honda_checksum;
 use canbus::{CanFrame, BRAKE_COMMAND_ID, GAS_COMMAND_ID, STEERING_CONTROL_ID};
 use serde::{Deserialize, Serialize};
-use units::Tick;
+use units::{limits, Tick};
 
 /// How the harness acts on what the defense stack reports.
 ///
@@ -120,10 +120,10 @@ pub struct IdsConfig {
 impl Default for IdsConfig {
     fn default() -> Self {
         Self {
-            miss_after: 10,
-            timing_threshold: 10,
-            counter_threshold: 5,
-            checksum_threshold: 4,
+            miss_after: limits::IDS_MISS_AFTER,
+            timing_threshold: limits::IDS_TIMING_THRESHOLD,
+            counter_threshold: limits::IDS_COUNTER_THRESHOLD,
+            checksum_threshold: limits::IDS_CHECKSUM_THRESHOLD,
         }
     }
 }

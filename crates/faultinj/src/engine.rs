@@ -3,6 +3,7 @@
 use canbus::CanFrame;
 use driving_sim::SensorFrame;
 use msgbus::schema::{GpsLocation, LaneModel, RadarState};
+use units::mix::splitmix64;
 use units::{Distance, Speed, Tick};
 
 use crate::spec::{FaultKind, FaultSchedule, FaultSpec, FaultTarget, MAX_FAULTS};
@@ -277,7 +278,7 @@ impl FaultEngine {
                         if bits == 0 {
                             continue;
                         }
-                        let bit = mix(self.seed ^ mix(t ^ mix(slot_salt ^ SALT_CAN_BIT ^ j)))
+                        let bit = splitmix64(self.seed ^ splitmix64(t ^ splitmix64(slot_salt ^ SALT_CAN_BIT ^ j)))
                             % bits;
                         let byte = (bit / 8) as usize;
                         if let Some(b) = frame.data_mut().get_mut(byte) {
@@ -395,20 +396,10 @@ fn overwrite(frame: &mut SensorFrame, src: &SensorFrame, target: FaultTarget) ->
     n
 }
 
-/// SplitMix64 finalizer — the same mixing structure the campaign scheduler
-/// uses for seed derivation, reimplemented here so `faultinj` stays a leaf
-/// crate below `platform`.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 /// Stateless draw in `[0, 1)` from `(seed, tick, slot, salt)` — 53 mantissa
 /// bits, uniform, reproducible, and independent of call order.
 fn draw01(seed: u64, tick: u64, slot: u64, salt: u64) -> f64 {
-    let h = mix(seed ^ mix(tick ^ mix(slot ^ mix(salt))));
+    let h = splitmix64(seed ^ splitmix64(tick ^ splitmix64(slot ^ splitmix64(salt))));
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 

@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn unknown_rule_is_an_error() {
-        assert!(Baseline::parse("R9\ta.rs\tx\n").is_err());
+        assert!(Baseline::parse("R99\ta.rs\tx\n").is_err());
     }
 
     #[test]

@@ -20,8 +20,29 @@ use std::path::{Path, PathBuf};
 
 /// Bumped whenever the cached shape or any rule logic that feeds it
 /// changes; stale versions are recomputed, never migrated. (v2: doc
-/// comments no longer parse as suppression sites.)
-pub const FORMAT_VERSION: u32 = 2;
+/// comments no longer parse as suppression sites. v3: entries are keyed by
+/// [`scan_key`] — content hash mixed with the scan-configuration
+/// fingerprint — so a cache written under one rule set is never served to
+/// a scan running a different one.)
+pub const FORMAT_VERSION: u32 = 3;
+
+/// Fingerprint of everything *besides* file content that determines a
+/// per-file analysis: the cache format version and the active rule set.
+/// Rule ids are sorted and deduplicated so spelling order on the command
+/// line cannot split the cache.
+pub fn config_fingerprint(rules: &[Rule]) -> u64 {
+    let mut ids: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    content_hash(format!("v{FORMAT_VERSION};{}", ids.join(",")).as_bytes())
+}
+
+/// The key a cache entry is stored and looked up under. Mixing (rather
+/// than, say, XOR-ing) via SplitMix64 avalanches both inputs, so a content
+/// edit and a compensating config change cannot collide.
+pub fn scan_key(content: u64, config: u64) -> u64 {
+    platform::experiment::mix_seed(content, &[config])
+}
 
 /// One inline suppression site, as the workspace pass needs it.
 #[derive(Debug, Clone, PartialEq)]
@@ -371,6 +392,24 @@ mod tests {
         let mut text = serialize("crates/a/src/lib.rs", 1, &a);
         text.push_str("garbage line without a known tag\n");
         assert!(deserialize(&text, "crates/a/src/lib.rs", 1).is_none());
+    }
+
+    #[test]
+    fn config_fingerprint_is_order_insensitive_but_set_sensitive() {
+        let all = crate::diag::ALL_RULES.to_vec();
+        let mut reversed = all.clone();
+        reversed.reverse();
+        assert_eq!(config_fingerprint(&all), config_fingerprint(&reversed));
+        let subset = vec![Rule::PanicFreedom, Rule::FloatHygiene];
+        assert_ne!(config_fingerprint(&all), config_fingerprint(&subset));
+    }
+
+    #[test]
+    fn scan_key_separates_configs_for_same_content() {
+        let content = content_hash(b"fn f() {}");
+        let a = scan_key(content, config_fingerprint(&crate::diag::ALL_RULES));
+        let b = scan_key(content, config_fingerprint(&[Rule::PanicFreedom]));
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -33,10 +33,21 @@ pub enum Rule {
     /// enums (attack types, alerts, hazards); adding a variant must be a
     /// compile-time event, not a silently-ignored runtime one.
     EnumExhaustiveness,
+    /// R9 — every value flowing into an actuator `encode` call is provably
+    /// bounded (by interval abstract interpretation) within the physical
+    /// limits declared in `units::limits`.
+    EnvelopeSoundness,
+    /// R10 — the literal thresholds of the runtime defenses (plausibility
+    /// gates, CAN IDS, degradation escalation) are mutually consistent
+    /// with the controller dynamics they guard.
+    ThresholdConsistency,
+    /// R11 — clamp hygiene: no provably-dead clamps, no inverted clamp
+    /// bounds, and no possibly-NaN value on a path to actuation.
+    ClampHygiene,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 8] = [
+pub const ALL_RULES: [Rule; 11] = [
     Rule::UnitSafety,
     Rule::PanicFreedom,
     Rule::ActuatorContainment,
@@ -45,6 +56,9 @@ pub const ALL_RULES: [Rule; 8] = [
     Rule::TaintFlow,
     Rule::TransitivePanic,
     Rule::EnumExhaustiveness,
+    Rule::EnvelopeSoundness,
+    Rule::ThresholdConsistency,
+    Rule::ClampHygiene,
 ];
 
 impl Rule {
@@ -59,6 +73,9 @@ impl Rule {
             Rule::TaintFlow => "R6",
             Rule::TransitivePanic => "R7",
             Rule::EnumExhaustiveness => "R8",
+            Rule::EnvelopeSoundness => "R9",
+            Rule::ThresholdConsistency => "R10",
+            Rule::ClampHygiene => "R11",
         }
     }
 
@@ -73,6 +90,9 @@ impl Rule {
             Rule::TaintFlow => "taint-flow",
             Rule::TransitivePanic => "transitive-panic",
             Rule::EnumExhaustiveness => "enum-exhaustiveness",
+            Rule::EnvelopeSoundness => "envelope-soundness",
+            Rule::ThresholdConsistency => "threshold-consistency",
+            Rule::ClampHygiene => "clamp-hygiene",
         }
     }
 
@@ -102,6 +122,15 @@ impl Rule {
             }
             Rule::EnumExhaustiveness => {
                 "no wildcard _ => arms when matching safety-critical enums"
+            }
+            Rule::EnvelopeSoundness => {
+                "every actuator-bound value provably inside units::limits physical bounds"
+            }
+            Rule::ThresholdConsistency => {
+                "defense thresholds (gates, IDS, degradation) consistent with controller dynamics"
+            }
+            Rule::ClampHygiene => {
+                "no dead clamps, inverted clamp bounds, or possible-NaN on actuation paths"
             }
         }
     }
@@ -218,7 +247,7 @@ mod tests {
             assert_eq!(Rule::parse(r.name()), Some(r));
             assert_eq!(Rule::parse(&r.id().to_lowercase()), Some(r));
         }
-        assert_eq!(Rule::parse("R9"), None);
+        assert_eq!(Rule::parse("R12"), None);
     }
 
     #[test]

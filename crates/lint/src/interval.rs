@@ -1,0 +1,350 @@
+//! The closed-interval abstract domain for the semantic rules (R9–R11).
+//!
+//! A value is abstracted as `[lo, hi] ⊆ ℝ ∪ {±∞}` plus a `maybe_nan` flag
+//! tracked separately (NaN is not a point on the number line; folding it
+//! into the interval would destroy every bound). The domain is
+//! deliberately small: join (convex hull), standard widening to ±∞, and
+//! transfer functions for exactly the operations that appear on actuator
+//! paths — arithmetic, `clamp`/`min`/`max`/`abs`, and the NaN-capable
+//! trio `/`, `sqrt`, `asin`/`acos`.
+//!
+//! Two soundness conventions worth spelling out:
+//!
+//! * **Unknown ≠ NaN.** A value we know nothing about is `TOP` with
+//!   `maybe_nan = false`. Only operations that can *create* a NaN set the
+//!   flag; `min`/`max` clear it when the other operand is clean (Rust's
+//!   `f64::min`/`max` return the non-NaN operand), and `clamp` keeps it
+//!   (`f64::clamp` returns NaN for NaN input). This keeps the flag a
+//!   provenance trace of actual NaN-producing operations rather than a
+//!   universal contaminant.
+//! * **Strict guards refine to the next float.** For a runtime fact
+//!   `x > c` the refined bound is [`next_up`]`(c)`, which is exact for
+//!   `f64` — there is no float strictly between `c` and `next_up(c)`.
+//!   This is what lets `a / (2.0 * gap_err)` under a `gap_err > 0.0`
+//!   guard prove its denominator never contains zero.
+
+/// A closed interval `[lo, hi]`, possibly unbounded. Invariant: `lo <= hi`
+/// and neither bound is NaN. `TOP` is `[-∞, +∞]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (may be `-∞`).
+    pub lo: f64,
+    /// Upper bound (may be `+∞`).
+    pub hi: f64,
+}
+
+/// The unbounded interval.
+pub const TOP: Interval = Interval {
+    lo: f64::NEG_INFINITY,
+    hi: f64::INFINITY,
+};
+
+// The arithmetic methods intentionally shadow the `std::ops` trait names:
+// interval transfer functions are not ring operations (no inverses, widening
+// at the bounds), and explicit method calls keep that visible at call sites.
+#[allow(clippy::should_implement_trait)]
+impl Interval {
+    /// `[lo, hi]`, swapping if given backwards and mapping NaN bounds to
+    /// the corresponding infinity (never trust upstream arithmetic).
+    pub fn new(lo: f64, hi: f64) -> Self {
+        let lo = if lo.is_nan() { f64::NEG_INFINITY } else { lo };
+        let hi = if hi.is_nan() { f64::INFINITY } else { hi };
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// The singleton `[c, c]` (TOP for a NaN input).
+    pub fn point(c: f64) -> Self {
+        if c.is_nan() {
+            TOP
+        } else {
+            Interval { lo: c, hi: c }
+        }
+    }
+
+    /// Whether this is the unbounded interval.
+    pub fn is_top(self) -> bool {
+        (self.lo.is_infinite() && self.lo.is_sign_negative())
+            && (self.hi.is_infinite() && self.hi.is_sign_positive())
+    }
+
+    /// Whether both bounds are finite.
+    pub fn is_bounded(self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// Whether `c` lies inside the interval.
+    pub fn contains(self, c: f64) -> bool {
+        self.lo <= c && c <= self.hi
+    }
+
+    /// Whether the whole interval lies inside `[lo, hi]`.
+    pub fn within(self, lo: f64, hi: f64) -> bool {
+        lo <= self.lo && self.hi <= hi
+    }
+
+    /// Convex hull of the two intervals.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Intersection; `None` when disjoint.
+    pub fn meet(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Standard widening: any bound that moved since `prev` jumps straight
+    /// to its infinity, guaranteeing fixpoint termination in at most two
+    /// widening steps per variable.
+    pub fn widen(prev: Interval, next: Interval) -> Interval {
+        Interval {
+            lo: if next.lo < prev.lo {
+                f64::NEG_INFINITY
+            } else {
+                prev.lo.min(next.lo)
+            },
+            hi: if next.hi > prev.hi {
+                f64::INFINITY
+            } else {
+                prev.hi.max(next.hi)
+            },
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(self, other: Interval) -> Interval {
+        Interval::new(guard_lo(self.lo + other.lo), guard_hi(self.hi + other.hi))
+    }
+
+    /// `self - other`.
+    pub fn sub(self, other: Interval) -> Interval {
+        Interval::new(guard_lo(self.lo - other.hi), guard_hi(self.hi - other.lo))
+    }
+
+    /// `-self`.
+    pub fn neg(self) -> Interval {
+        Interval::new(-self.hi, -self.lo)
+    }
+
+    /// `self * other`: hull of the four corner products. `0 × ∞` corners
+    /// (which are NaN in `f64`) are widened to the matching infinity —
+    /// over-approximation, never a dropped bound.
+    pub fn mul(self, other: Interval) -> Interval {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for a in [self.lo, self.hi] {
+            for b in [other.lo, other.hi] {
+                let p = a * b;
+                if p.is_nan() {
+                    // 0 × ∞: the true set includes values arbitrarily close
+                    // to 0 from either side once the operands perturb.
+                    return TOP;
+                }
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+        }
+        Interval::new(lo, hi)
+    }
+
+    /// `self / other`. When the denominator straddles zero the quotient is
+    /// unbounded (TOP); the *NaN* question (0/0) is the caller's — this
+    /// function only shapes the interval.
+    pub fn div(self, other: Interval) -> Interval {
+        if other.contains(0.0) {
+            return TOP;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for a in [self.lo, self.hi] {
+            for b in [other.lo, other.hi] {
+                let q = a / b;
+                if q.is_nan() {
+                    return TOP; // ±∞ / ±∞
+                }
+                lo = lo.min(q);
+                hi = hi.max(q);
+            }
+        }
+        Interval::new(lo, hi)
+    }
+
+    /// `self.abs()`.
+    pub fn abs(self) -> Interval {
+        if self.lo >= 0.0 {
+            self
+        } else if self.hi <= 0.0 {
+            self.neg()
+        } else {
+            Interval::new(0.0, self.hi.max(-self.lo))
+        }
+    }
+
+    /// Pointwise `min` following `f64::min` NaN semantics at the interval
+    /// level: the caller handles `maybe_nan`; this is the both-clean shape.
+    pub fn min(self, other: Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Pointwise `max`.
+    pub fn max(self, other: Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.max(other.hi))
+    }
+
+    /// `f64::clamp(self, lo, hi)` with *interval* bounds: the result lands
+    /// in `[lo.lo, hi.hi]` intersected with the reachable outputs. Assumes
+    /// `lo ≤ hi` pointwise (the inverted case is an R11 finding, checked
+    /// before this is applied).
+    pub fn clamp(self, lo: Interval, hi: Interval) -> Interval {
+        let out_lo = if self.lo <= lo.hi {
+            // Some input at or below the bound: output floor is lo.lo …
+            self.lo.max(lo.lo)
+        } else {
+            self.lo
+        };
+        let out_hi = if self.hi >= hi.lo {
+            self.hi.min(hi.hi)
+        } else {
+            self.hi
+        };
+        Interval::new(out_lo, out_hi)
+    }
+
+    /// `sqrt`: the non-negative part of the input, rooted. The caller sets
+    /// `maybe_nan` when the input may be negative.
+    pub fn sqrt(self) -> Interval {
+        let lo = self.lo.max(0.0);
+        let hi = self.hi.max(0.0);
+        if self.hi < 0.0 {
+            // Entire input negative: result is always NaN; shape is empty,
+            // represented as the zero point (flag carries the real story).
+            return Interval::point(0.0);
+        }
+        Interval::new(lo.sqrt(), hi.sqrt())
+    }
+
+    /// `asin`/`acos`-style domain-limited map: result within `[out_lo,
+    /// out_hi]` for the in-domain part of the input.
+    pub fn bounded_map(out_lo: f64, out_hi: f64) -> Interval {
+        Interval::new(out_lo, out_hi)
+    }
+}
+
+/// Keep a lower bound a lower bound when `-∞ + ∞` style sums collapse.
+fn guard_lo(x: f64) -> f64 {
+    if x.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        x
+    }
+}
+
+/// Keep an upper bound an upper bound.
+fn guard_hi(x: f64) -> f64 {
+    if x.is_nan() {
+        f64::INFINITY
+    } else {
+        x
+    }
+}
+
+/// The smallest `f64` strictly greater than `x` — exact strict-guard
+/// refinement (`x > c` ⟹ `x ≥ next_up(c)`).
+pub fn next_up(x: f64) -> f64 {
+    if x.is_nan() || (x.is_infinite() && x.is_sign_positive()) {
+        return x;
+    }
+    let bits = x.to_bits();
+    if bits << 1 == 0 {
+        // Covers -0.0 too: the next value up from either zero.
+        return f64::from_bits(1);
+    }
+    if x.is_sign_positive() {
+        f64::from_bits(bits + 1)
+    } else {
+        f64::from_bits(bits - 1)
+    }
+}
+
+/// The largest `f64` strictly less than `x`.
+pub fn next_down(x: f64) -> f64 {
+    -next_up(-x)
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // interval bounds are exact by construction
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_shapes() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-3.0, 4.0);
+        assert_eq!(a.add(b), Interval::new(-2.0, 6.0));
+        assert_eq!(a.sub(b), Interval::new(-3.0, 5.0));
+        assert_eq!(a.mul(b), Interval::new(-6.0, 8.0));
+        assert_eq!(a.neg(), Interval::new(-2.0, -1.0));
+        assert_eq!(b.abs(), Interval::new(0.0, 4.0));
+    }
+
+    #[test]
+    fn division_by_zero_straddle_is_top() {
+        let a = Interval::new(1.0, 1.0);
+        assert!(a.div(Interval::new(-1.0, 1.0)).is_top());
+        assert_eq!(a.div(Interval::new(2.0, 4.0)), Interval::new(0.25, 0.5));
+    }
+
+    #[test]
+    fn clamp_bounds_the_output() {
+        let top = TOP.clamp(Interval::point(-4.0), Interval::point(2.4));
+        assert_eq!(top, Interval::new(-4.0, 2.4));
+        // Input already inside: clamp is the identity shape (a dead clamp —
+        // exactly what R11 looks for).
+        let inside = Interval::new(0.0, 1.0).clamp(Interval::point(-4.0), Interval::point(2.4));
+        assert_eq!(inside, Interval::new(0.0, 1.0));
+        // Input partially below: floor rises to the bound.
+        let low = Interval::new(-10.0, 1.0).clamp(Interval::point(-4.0), Interval::point(2.4));
+        assert_eq!(low, Interval::new(-4.0, 1.0));
+    }
+
+    #[test]
+    fn widening_reaches_fixpoint() {
+        let prev = Interval::new(0.0, 1.0);
+        let grown = Interval::new(0.0, 2.0);
+        let w = Interval::widen(prev, grown);
+        assert_eq!(w, Interval::new(0.0, f64::INFINITY));
+        // Widening is idempotent once a bound is at infinity.
+        assert_eq!(Interval::widen(w, Interval::new(-5.0, 100.0)).hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn next_up_is_strict_and_adjacent() {
+        assert!(next_up(0.0) > 0.0);
+        assert_eq!(next_up(0.0), f64::from_bits(1));
+        assert_eq!(next_up(-0.0), f64::from_bits(1));
+        assert!(next_up(1.0) > 1.0);
+        assert!(next_down(1.0) < 1.0);
+        assert_eq!(next_down(next_up(5.5)), 5.5);
+    }
+
+    #[test]
+    fn join_and_meet() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 5.0);
+        assert_eq!(a.join(b), Interval::new(0.0, 5.0));
+        assert_eq!(a.meet(b), Some(Interval::new(1.0, 2.0)));
+        assert_eq!(a.meet(Interval::new(3.0, 4.0)), None);
+    }
+}

@@ -1,0 +1,1553 @@
+//! Lowering from the masked token stream to a small dataflow IR.
+//!
+//! The semantic rules (R9–R11) need more than the flat call/panic facts in
+//! [`crate::parser::FileFacts`]: they follow *values* — through `let`
+//! bindings, arithmetic, `clamp`/`min`/`max`, branch joins and function
+//! returns. This module re-walks the same [`crate::parser::lex`] token
+//! stream and lowers each function body (and each `const` initializer)
+//! into a statement/expression tree the abstract interpreter in
+//! [`crate::absint`] can evaluate.
+//!
+//! The lowering is deliberately *partial*: anything it does not
+//! understand — closures, complex patterns, trait objects, macro bodies —
+//! becomes [`Expr::Unknown`], which the interpreter maps to ⊤ (no
+//! information). That is the sound direction: an unknown value can never
+//! be "proven bounded", so surprises surface as R9 *unprovable* findings
+//! rather than silently passing. The parser must never panic or loop on
+//! arbitrary token soup; every statement parse either makes progress or
+//! resynchronises at the next `;`/`}`.
+//!
+//! One lexer quirk matters throughout: [`crate::parser::lex`] splits
+//! float literals (`2.4` arrives as `2`, `.`, `4`, and `1e-6` as `1e`,
+//! `-`, `6`), and leaves multi-char operators other than `::`/`->`/`=>`
+//! unfused (`<=` is `<`, `=`). [`fuse`] and [`read_number`] reassemble
+//! both before the grammar proper runs.
+
+use crate::parser::{lex, Tok};
+use crate::tokenizer::SourceFile;
+
+/// A lowered source file: constant definitions plus function bodies.
+#[derive(Debug, Default)]
+pub struct FileIr {
+    /// Every `const`/`static` initializer, at any nesting level.
+    pub consts: Vec<ConstDef>,
+    /// Every `fn`, with its lowered body.
+    pub fns: Vec<FnIr>,
+}
+
+/// A `const NAME: T = expr;` (or `static`) definition.
+#[derive(Debug)]
+pub struct ConstDef {
+    /// The constant's identifier (last segment only).
+    pub name: String,
+    /// Lowered initializer.
+    pub expr: Expr,
+    /// 1-based line of the definition.
+    pub line: usize,
+}
+
+/// A lowered function.
+#[derive(Debug)]
+pub struct FnIr {
+    /// Bare function name.
+    pub name: String,
+    /// `Type::name` inside an `impl`, else the bare name.
+    pub qual: String,
+    /// The `impl` type, when inside one.
+    pub impl_type: Option<String>,
+    /// Whether the function is test code (`#[cfg(test)]` region or `#[test]`).
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Parameter names, in order (`self` included when present).
+    pub params: Vec<String>,
+    /// The body as a block expression.
+    pub body: Expr,
+}
+
+/// Statements inside a block.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `dst = expr` / `let dst = expr`. `weak` joins with the previous
+    /// value instead of replacing it (used for `return` accumulation).
+    Assign {
+        /// Dotted destination path (`self.last_control`, `%ret`, …).
+        dst: String,
+        /// Right-hand side.
+        expr: Expr,
+        /// 1-based source line.
+        line: usize,
+        /// Join-with-previous instead of overwrite.
+        weak: bool,
+    },
+    /// An expression evaluated for effect (calls inside still observed).
+    Eval {
+        /// The expression.
+        expr: Expr,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `for`/`while`/`loop` body, run to fixpoint with widening.
+    Loop {
+        /// The loop body block.
+        body: Expr,
+        /// 1-based source line.
+        line: usize,
+    },
+}
+
+/// Binary operators the abstract domain models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` — lowered but evaluated as ⊤.
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Numeric negation.
+    Neg,
+    /// Logical not (only meaningful in guards).
+    Not,
+}
+
+/// Lowered expressions.
+#[derive(Debug)]
+pub enum Expr {
+    /// A numeric literal (possibly reassembled from split tokens).
+    Num(f64),
+    /// A `::`-separated path (`limits::SW_ACCEL_MAX_MPS2`, `x`).
+    Path(Vec<String>),
+    /// Field access base.`field` (also tuple indices).
+    Field(Box<Expr>, String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Free or path call `a::b(args)`.
+    Call {
+        /// Callee path segments.
+        callee: Vec<String>,
+        /// Lowered arguments.
+        args: Vec<Expr>,
+        /// 1-based source line of the call.
+        line: usize,
+    },
+    /// Method call `recv.name(args)`.
+    Method {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Lowered arguments.
+        args: Vec<Expr>,
+        /// 1-based source line of the call.
+        line: usize,
+    },
+    /// Struct literal `Name { field: expr, .. }`.
+    Struct {
+        /// Struct name (last path segment).
+        name: String,
+        /// Field initializers.
+        fields: Vec<(String, Expr)>,
+        /// Functional-update base (`..base`).
+        base: Option<Box<Expr>>,
+    },
+    /// `if cond { then } else { other }` as a value; `cond` refines the
+    /// branch environments.
+    If {
+        /// Guard condition.
+        cond: Box<Expr>,
+        /// Then branch (a block).
+        then_branch: Box<Expr>,
+        /// Else branch (an empty block when the `else` is absent).
+        else_branch: Box<Expr>,
+    },
+    /// `match` as a value: the join of all arm bodies (no refinement).
+    Match(Vec<Expr>),
+    /// `{ stmts; tail }`.
+    Block(Vec<Stmt>, Option<Box<Expr>>),
+    /// Anything the lowering does not model. Evaluates to ⊤.
+    Unknown,
+}
+
+impl Expr {
+    /// The dotted environment key for a `Path`/`Field` chain rooted at an
+    /// identifier, e.g. `self.last_control` → `"self.last_control"`.
+    pub fn as_place(&self) -> Option<String> {
+        match self {
+            Expr::Path(segs) => Some(segs.join("::")),
+            Expr::Field(base, f) => base.as_place().map(|b| format!("{b}.{f}")),
+            _ => None,
+        }
+    }
+}
+
+/// A fused token: identical to [`Tok`] except multi-char operators are
+/// single tokens.
+#[derive(Debug, Clone)]
+struct FTok {
+    text: String,
+    line: usize,
+    is_word: bool,
+}
+
+/// Fuses `==`, `!=`, `<=`, `>=`, `&&`, `||`, `+=`, `-=`, `*=`, `/=`,
+/// `%=`, `..=`, `..` from adjacent single-char tokens on the same line.
+fn fuse(toks: &[Tok]) -> Vec<FTok> {
+    let mut out: Vec<FTok> = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        let pair = |next: &str| -> bool {
+            toks.get(i + 1)
+                .is_some_and(|n| n.line == t.line && !n.is_word && n.text == next)
+        };
+        let fused: Option<(&str, usize)> = if t.is_word {
+            None
+        } else {
+            match t.text.as_str() {
+                "=" if pair("=") => Some(("==", 2)),
+                "!" if pair("=") => Some(("!=", 2)),
+                "<" if pair("=") => Some(("<=", 2)),
+                ">" if pair("=") => Some((">=", 2)),
+                "&" if pair("&") => Some(("&&", 2)),
+                "|" if pair("|") => Some(("||", 2)),
+                "+" if pair("=") => Some(("+=", 2)),
+                "-" if pair("=") => Some(("-=", 2)),
+                "*" if pair("=") => Some(("*=", 2)),
+                "/" if pair("=") => Some(("/=", 2)),
+                "%" if pair("=") => Some(("%=", 2)),
+                "." if pair(".") => {
+                    if toks
+                        .get(i + 2)
+                        .is_some_and(|n| n.line == t.line && !n.is_word && n.text == "=")
+                    {
+                        Some(("..=", 3))
+                    } else {
+                        Some(("..", 2))
+                    }
+                }
+                _ => None,
+            }
+        };
+        match fused {
+            Some((text, n)) => {
+                out.push(FTok {
+                    text: text.to_string(),
+                    line: t.line,
+                    is_word: false,
+                });
+                i += n;
+            }
+            None => {
+                out.push(FTok {
+                    text: t.text.clone(),
+                    line: t.line,
+                    is_word: t.is_word,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether a word token starts a numeric literal.
+fn is_num_start(t: &FTok) -> bool {
+    t.is_word && t.text.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+/// The lowering context for one file.
+struct Lower<'a> {
+    toks: Vec<FTok>,
+    src: &'a SourceFile,
+}
+
+/// Lowers a tokenized file into its dataflow IR.
+pub fn lower(src: &SourceFile) -> FileIr {
+    let lw = Lower {
+        toks: fuse(&lex(src)),
+        src,
+    };
+    lw.file()
+}
+
+impl Lower<'_> {
+    /// Index one past the bracket matching the opener at `open`.
+    /// Returns `toks.len()` when unbalanced (truncated input).
+    fn matching(&self, open: usize) -> usize {
+        let close = match self.toks[open].text.as_str() {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => return open + 1,
+        };
+        let opener = self.toks[open].text.clone();
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.toks.len() {
+            let t = &self.toks[i];
+            if !t.is_word {
+                if t.text == opener {
+                    depth += 1;
+                } else if t.text == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+            }
+            i += 1;
+        }
+        self.toks.len()
+    }
+
+    /// Top-level walk: collect `const` defs and `fn` bodies, tracking the
+    /// enclosing `impl` type.
+    fn file(&self) -> FileIr {
+        let mut out = FileIr::default();
+        // (type name, end index) for the innermost impl containing `i`.
+        let mut impls: Vec<(String, usize)> = Vec::new();
+        let mut i = 0usize;
+        while i < self.toks.len() {
+            while impls.last().is_some_and(|(_, end)| i >= *end) {
+                impls.pop();
+            }
+            let t = &self.toks[i];
+            if t.is_word && t.text == "impl" {
+                // `impl [<..>] Type [for Type] {` — the impl'd type is the
+                // last path segment before `{` (after `for` when present).
+                let mut j = i + 1;
+                let mut ty = String::new();
+                let mut depth = 0i32;
+                while j < self.toks.len() {
+                    let u = &self.toks[j];
+                    if !u.is_word {
+                        match u.text.as_str() {
+                            "<" => depth += 1,
+                            ">" => depth -= 1,
+                            "{" if depth <= 0 => break,
+                            _ => {}
+                        }
+                    } else if depth <= 0 {
+                        if u.text == "for" {
+                            ty.clear();
+                        } else if ty.is_empty() && u.text != "where" {
+                            ty = u.text.clone();
+                        }
+                    }
+                    j += 1;
+                }
+                if j < self.toks.len() {
+                    impls.push((ty, self.matching(j)));
+                    i = j + 1;
+                    continue;
+                }
+                i = j;
+            } else if t.is_word && (t.text == "const" || t.text == "static") {
+                // `const NAME: T = expr ;` — skip `const fn` and the type.
+                if self.toks.get(i + 1).is_some_and(|n| n.is_word && n.text == "fn") {
+                    i += 1;
+                    continue;
+                }
+                let Some(name_tok) = self.toks.get(i + 1) else { break };
+                if !name_tok.is_word {
+                    i += 1;
+                    continue;
+                }
+                let name = name_tok.text.clone();
+                let line = name_tok.line;
+                let mut j = i + 2;
+                // Skip `: Type` to the `=` at bracket depth 0 (splitting a
+                // `>` `=` pair fused to `>=` by a generic annotation).
+                let mut depth = 0i32;
+                while j < self.toks.len() {
+                    let u = &self.toks[j];
+                    if !u.is_word {
+                        match u.text.as_str() {
+                            "(" | "[" | "{" | "<" => depth += 1,
+                            ")" | "]" | "}" | ">" => depth -= 1,
+                            ">=" if depth > 0 => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            "=" if depth <= 0 => break,
+                            ";" if depth <= 0 => break,
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                if j < self.toks.len()
+                    && (self.toks[j].text == "=" || self.toks[j].text == ">=")
+                {
+                    let end = self.stmt_end(j + 1);
+                    let (expr, _) = self.expr(j + 1, end, false);
+                    out.consts.push(ConstDef { name, expr, line });
+                    i = end + 1;
+                } else {
+                    i = j + 1;
+                }
+            } else if t.is_word && t.text == "fn" {
+                if let Some((f, next)) = self.function(i, impls.last().map(|(n, _)| n.as_str())) {
+                    out.fns.push(f);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            } else if !t.is_word
+                && t.text == "#"
+                && self.toks.get(i + 1).is_some_and(|n| n.text == "[")
+            {
+                // Attributes can mention `const`/`fn` as path segments;
+                // skip them wholesale.
+                i = self.matching(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Parses the `fn` starting at `i` (the `fn` keyword); returns the IR
+    /// and the index one past the body.
+    fn function(&self, i: usize, impl_type: Option<&str>) -> Option<(FnIr, usize)> {
+        let name_tok = self.toks.get(i + 1)?;
+        if !name_tok.is_word {
+            return None;
+        }
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        // Find the parameter list `(`, skipping generics.
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        while j < self.toks.len() {
+            let u = &self.toks[j];
+            if !u.is_word {
+                match u.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    "(" if depth <= 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if j >= self.toks.len() {
+            return None;
+        }
+        let params_end = self.matching(j);
+        let params = self.params(j + 1, params_end.saturating_sub(1));
+        // Find the body `{` (or `;` for a trait signature).
+        let mut k = params_end;
+        let mut depth = 0i32;
+        while k < self.toks.len() {
+            let u = &self.toks[k];
+            if !u.is_word {
+                match u.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    ";" if depth <= 0 => return None,
+                    "{" if depth <= 0 => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        if k >= self.toks.len() {
+            return None;
+        }
+        let body_end = self.matching(k);
+        let body = self.block(k + 1, body_end.saturating_sub(1));
+        let is_test = self
+            .src
+            .lines
+            .get(line.saturating_sub(1))
+            .is_some_and(|l| l.in_test);
+        let qual = match impl_type {
+            Some(ty) if !ty.is_empty() => format!("{ty}::{name}"),
+            _ => name.clone(),
+        };
+        Some((
+            FnIr {
+                name,
+                qual,
+                impl_type: impl_type.filter(|t| !t.is_empty()).map(str::to_string),
+                is_test,
+                line,
+                params,
+                body,
+            },
+            body_end,
+        ))
+    }
+
+    /// Extracts parameter names from the token range of a parameter list.
+    fn params(&self, start: usize, end: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut i = start;
+        let mut depth = 0i32;
+        let mut expect_name = true;
+        while i < end.min(self.toks.len()) {
+            let t = &self.toks[i];
+            if !t.is_word {
+                match t.text.as_str() {
+                    "(" | "[" | "{" | "<" => depth += 1,
+                    ")" | "]" | "}" | ">" => depth -= 1,
+                    "," if depth == 0 => expect_name = true,
+                    ":" if depth == 0 => expect_name = false,
+                    _ => {}
+                }
+            } else if depth == 0 && expect_name && t.text != "mut" {
+                if t.text == "self" {
+                    out.push("self".to_string());
+                    expect_name = false;
+                } else {
+                    out.push(t.text.clone());
+                    expect_name = false;
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Index of the `;` (or closing position) ending the statement whose
+    /// expression starts at `i`, at bracket depth 0.
+    fn stmt_end(&self, i: usize) -> usize {
+        let mut j = i;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if !t.is_word {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => {
+                        j = self.matching(j);
+                        continue;
+                    }
+                    ";" | "}" | ")" => return j,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        self.toks.len()
+    }
+
+    /// Lowers the token range `[start, end)` as a block body.
+    fn block(&self, start: usize, end: usize) -> Expr {
+        let end = end.min(self.toks.len());
+        let mut stmts = Vec::new();
+        let mut tail: Option<Box<Expr>> = None;
+        let mut i = start;
+        while i < end {
+            let t = &self.toks[i];
+            if !t.is_word {
+                match t.text.as_str() {
+                    ";" => {
+                        tail = None;
+                        i += 1;
+                        continue;
+                    }
+                    "#" => {
+                        // Attribute: `#[...]`.
+                        if self.toks.get(i + 1).is_some_and(|n| n.text == "[") {
+                            i = self.matching(i + 1);
+                        } else {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            let before = i;
+            let (stmt, next, is_tail) = self.stmt(i, end);
+            match stmt {
+                Some(Stmt::Eval { expr, .. }) if is_tail => {
+                    tail = Some(Box::new(expr));
+                }
+                Some(s) => {
+                    tail = None;
+                    stmts.push(s);
+                }
+                None => {
+                    tail = None;
+                }
+            }
+            i = next.max(before + 1);
+        }
+        Expr::Block(stmts, tail)
+    }
+
+    /// Lowers one statement starting at `i`; returns the statement, the
+    /// next index, and whether the statement is the block tail (no `;`).
+    fn stmt(&self, i: usize, end: usize) -> (Option<Stmt>, usize, bool) {
+        let t = &self.toks[i];
+        let line = t.line;
+        if t.is_word {
+            match t.text.as_str() {
+                "let" => return self.let_stmt(i, end),
+                "for" => {
+                    // `for PAT in ITER { body }`
+                    let mut j = i + 1;
+                    while j < end && !(self.toks[j].is_word && self.toks[j].text == "in") {
+                        j += 1;
+                    }
+                    if let Some(open) = self.find_block_open(j, end) {
+                        let close = self.matching(open);
+                        let body = self.block(open + 1, close - 1);
+                        return (Some(Stmt::Loop { body, line }), close, false);
+                    }
+                    return (None, end, false);
+                }
+                "while" | "loop" => {
+                    if let Some(open) = self.find_block_open(i + 1, end) {
+                        let close = self.matching(open);
+                        let body = self.block(open + 1, close - 1);
+                        return (Some(Stmt::Loop { body, line }), close, false);
+                    }
+                    return (None, end, false);
+                }
+                "return" => {
+                    let stop = self.stmt_end(i + 1);
+                    let expr = if stop > i + 1 {
+                        self.expr(i + 1, stop, false).0
+                    } else {
+                        Expr::Unknown
+                    };
+                    return (
+                        Some(Stmt::Assign {
+                            dst: "%ret".to_string(),
+                            expr,
+                            line,
+                            weak: true,
+                        }),
+                        stop,
+                        false,
+                    );
+                }
+                "break" | "continue" => {
+                    return (None, self.stmt_end(i + 1), false);
+                }
+                "use" | "mod" | "struct" | "enum" | "trait" | "type" | "pub" | "unsafe"
+                | "extern" | "macro_rules" => {
+                    // Nested items inside fn bodies: skip to `;` or block.
+                    let mut j = i + 1;
+                    while j < end {
+                        let u = &self.toks[j];
+                        if !u.is_word {
+                            if u.text == ";" {
+                                return (None, j, false);
+                            }
+                            if u.text == "{" {
+                                return (None, self.matching(j), false);
+                            }
+                        }
+                        j += 1;
+                    }
+                    return (None, end, false);
+                }
+                "const" | "static" => {
+                    return (None, self.stmt_end(i + 1), false);
+                }
+                _ => {}
+            }
+        }
+        // Expression statement, possibly an assignment.
+        let stop = self.stmt_end(i);
+        let (expr, after) = self.expr(i, stop, false);
+        // Assignment? `place = rhs` / `place op= rhs`.
+        if after < stop {
+            let op = self.toks[after].text.as_str();
+            let is_assign = !self.toks[after].is_word
+                && matches!(op, "=" | "+=" | "-=" | "*=" | "/=" | "%=");
+            if is_assign {
+                if let Some(place) = expr.as_place() {
+                    let (rhs, _) = self.expr(after + 1, stop, false);
+                    let bin = |b: BinOp, rhs: Expr, place: &str| {
+                        Expr::Bin(b, Box::new(place_expr(place)), Box::new(rhs))
+                    };
+                    let rhs = match op {
+                        "+=" => bin(BinOp::Add, rhs, &place),
+                        "-=" => bin(BinOp::Sub, rhs, &place),
+                        "*=" => bin(BinOp::Mul, rhs, &place),
+                        "/=" => bin(BinOp::Div, rhs, &place),
+                        "%=" => bin(BinOp::Rem, rhs, &place),
+                        _ => rhs,
+                    };
+                    return (
+                        Some(Stmt::Assign {
+                            dst: place,
+                            expr: rhs,
+                            line,
+                            weak: false,
+                        }),
+                        stop,
+                        false,
+                    );
+                }
+                // Unmodelled place (index/deref): evaluate rhs for effect.
+                let (rhs, _) = self.expr(after + 1, stop, false);
+                return (Some(Stmt::Eval { expr: rhs, line }), stop, false);
+            }
+            // The expression ended before the statement did (a block-ended
+            // statement like `if c { … }` followed by the next statement):
+            // resume from where the parse actually stopped.
+            if self.toks.get(after).map(|t| t.text.as_str()) != Some(";") {
+                return (Some(Stmt::Eval { expr, line }), after, after >= end);
+            }
+        }
+        let next = after.min(stop);
+        let is_tail = next >= end
+            || self.toks.get(next).map(|t| t.text.as_str()) != Some(";");
+        (Some(Stmt::Eval { expr, line }), next, is_tail)
+    }
+
+    /// Lowers a `let` statement at `i` (the `let` keyword).
+    fn let_stmt(&self, i: usize, end: usize) -> (Option<Stmt>, usize, bool) {
+        let line = self.toks[i].line;
+        let mut j = i + 1;
+        if self.toks.get(j).is_some_and(|t| t.is_word && t.text == "mut") {
+            j += 1;
+        }
+        // Simple binding: IDENT [: Type] = rhs. Anything else (tuple or
+        // enum patterns, `let … else`) lowers to an effect-only Eval.
+        let simple = self.toks.get(j).is_some_and(|t| {
+            t.is_word
+                && !matches!(t.text.as_str(), "Some" | "Ok" | "Err" | "None")
+                && self.toks.get(j + 1).is_some_and(|n| {
+                    !n.is_word && (n.text == "=" || n.text == ":" || n.text == ";")
+                })
+        });
+        // Locate the `=` at depth 0. A generic type annotation ending in
+        // `>` directly before `=` arrives fused as `>=` — split it here.
+        let mut eq = j;
+        let mut depth = 0i32;
+        while eq < end {
+            let t = &self.toks[eq];
+            if !t.is_word {
+                match t.text.as_str() {
+                    "(" | "[" | "{" | "<" => depth += 1,
+                    ")" | "]" | "}" | ">" => depth -= 1,
+                    // `Vec<T> =` fuses to `>=`: the `>` closes the generic
+                    // and the `=` is the binding's; rhs starts at eq + 1.
+                    ">=" if depth > 0 => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "=" if depth <= 0 => break,
+                    ";" if depth <= 0 => return (None, eq, false),
+                    _ => {}
+                }
+            }
+            eq += 1;
+        }
+        if eq >= end {
+            return (None, end, false);
+        }
+        let stop = self.stmt_end(eq + 1);
+        let (rhs, after) = self.expr(eq + 1, stop, false);
+        // `let … else { … }`: the else block diverges; keep the binding.
+        let _ = after;
+        if simple {
+            let dst = self.toks[j].text.clone();
+            (
+                Some(Stmt::Assign {
+                    dst,
+                    expr: rhs,
+                    line,
+                    weak: false,
+                }),
+                stop,
+                false,
+            )
+        } else {
+            (Some(Stmt::Eval { expr: rhs, line }), stop, false)
+        }
+    }
+
+    /// First `{` at paren/bracket depth 0 in `[from, end)` — the body
+    /// opener for `if`/`while`/`for`/`loop`/`match` headers. `<`/`>` in
+    /// this position are comparisons, not generics (Rust bans bare struct
+    /// literals here for the same reason), except after a turbofish `::`.
+    fn find_block_open(&self, from: usize, end: usize) -> Option<usize> {
+        let mut j = from;
+        while j < end.min(self.toks.len()) {
+            let t = &self.toks[j];
+            if !t.is_word {
+                match t.text.as_str() {
+                    "(" | "[" => {
+                        j = self.matching(j);
+                        continue;
+                    }
+                    "::" if self.toks.get(j + 1).is_some_and(|n| n.text == "<") => {
+                        let mut depth = 0i32;
+                        let mut k = j + 1;
+                        while k < end.min(self.toks.len()) {
+                            match self.toks[k].text.as_str() {
+                                "<" => depth += 1,
+                                ">" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        j = k + 1;
+                        continue;
+                    }
+                    "{" => return Some(j),
+                    ";" => return None,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Reads a numeric literal starting at word token `i`; returns the
+    /// value and the next index. Reassembles split floats and exponents
+    /// and strips `_` separators and type suffixes.
+    fn read_number(&self, i: usize) -> (Expr, usize) {
+        let mut text = self.toks[i].text.clone();
+        let mut j = i + 1;
+        let line = self.toks[i].line;
+        // Fractional part: `.` followed by a word starting with a digit
+        // (otherwise it's a method call / tuple index boundary).
+        if self.toks.get(j).is_some_and(|t| {
+            !t.is_word && t.text == "." && t.line == line
+        }) && self
+            .toks
+            .get(j + 1)
+            .is_some_and(|t| is_num_start(t) && t.line == line)
+        {
+            text.push('.');
+            text.push_str(&self.toks[j + 1].text);
+            j += 2;
+        } else if self.toks.get(j).is_some_and(|t| !t.is_word && t.text == "." && t.line == line)
+            && !self
+                .toks
+                .get(j + 1)
+                .is_some_and(|t| t.is_word && t.line == line)
+        {
+            // Trailing-dot float like `1.`.
+            text.push('.');
+            j += 1;
+        }
+        // Exponent sign: `1e` / `2.5e` followed by `-`/`+` and digits.
+        if (text.ends_with('e') || text.ends_with('E'))
+            && self.toks.get(j).is_some_and(|t| {
+                !t.is_word && (t.text == "-" || t.text == "+") && t.line == line
+            })
+            && self.toks.get(j + 1).is_some_and(|t| is_num_start(t) && t.line == line)
+        {
+            text.push_str(&self.toks[j].text);
+            text.push_str(&self.toks[j + 1].text);
+            j += 2;
+        }
+        let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+        let stripped = strip_suffix(&cleaned);
+        match stripped.parse::<f64>() {
+            Ok(v) => (Expr::Num(v), j),
+            Err(_) => {
+                // Hex / binary / octal integers.
+                let parsed = if let Some(hex) = stripped.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).ok()
+                } else if let Some(bin) = stripped.strip_prefix("0b") {
+                    u64::from_str_radix(bin, 2).ok()
+                } else if let Some(oct) = stripped.strip_prefix("0o") {
+                    u64::from_str_radix(oct, 8).ok()
+                } else {
+                    None
+                };
+                match parsed {
+                    Some(v) => (Expr::Num(v as f64), j),
+                    None => (Expr::Unknown, j),
+                }
+            }
+        }
+    }
+
+    /// Parses an expression in `[i, end)`. Returns the expression and the
+    /// index of the first unconsumed token. `no_struct` disables the
+    /// struct-literal postfix (condition/scrutinee position).
+    fn expr(&self, i: usize, end: usize, no_struct: bool) -> (Expr, usize) {
+        self.binary(i, end.min(self.toks.len()), 0, no_struct)
+    }
+
+    /// Precedence-climbing binary-expression parser.
+    fn binary(&self, i: usize, end: usize, min_prec: u8, no_struct: bool) -> (Expr, usize) {
+        let (mut lhs, mut j) = self.unary(i, end, no_struct);
+        loop {
+            let Some(t) = self.toks.get(j).filter(|_| j < end) else {
+                return (lhs, j);
+            };
+            if t.is_word {
+                if t.text == "as" {
+                    // Cast: consume the type path, value unchanged.
+                    let mut k = j + 1;
+                    while k < end
+                        && (self.toks[k].is_word || self.toks[k].text == "::")
+                    {
+                        k += 1;
+                    }
+                    j = k;
+                    continue;
+                }
+                return (lhs, j);
+            }
+            let (op, prec) = match t.text.as_str() {
+                "||" => (BinOp::Or, 1),
+                "&&" => (BinOp::And, 2),
+                "==" => (BinOp::Eq, 3),
+                "!=" => (BinOp::Ne, 3),
+                "<" => (BinOp::Lt, 3),
+                "<=" => (BinOp::Le, 3),
+                ">" => (BinOp::Gt, 3),
+                ">=" => (BinOp::Ge, 3),
+                "+" => (BinOp::Add, 4),
+                "-" => (BinOp::Sub, 4),
+                "*" => (BinOp::Mul, 5),
+                "/" => (BinOp::Div, 5),
+                "%" => (BinOp::Rem, 5),
+                ".." | "..=" => {
+                    // Range: swallow the other endpoint, result unmodelled.
+                    let (_, k) = self.binary(j + 1, end, 4, no_struct);
+                    return (Expr::Unknown, k);
+                }
+                _ => return (lhs, j),
+            };
+            if prec < min_prec {
+                return (lhs, j);
+            }
+            let (rhs, k) = self.binary(j + 1, end, prec + 1, no_struct);
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+            j = k;
+        }
+    }
+
+    /// Unary prefixes, then a postfix-decorated primary.
+    fn unary(&self, i: usize, end: usize, no_struct: bool) -> (Expr, usize) {
+        let Some(t) = self.toks.get(i).filter(|_| i < end) else {
+            return (Expr::Unknown, i.max(end));
+        };
+        if !t.is_word {
+            match t.text.as_str() {
+                "-" => {
+                    let (inner, j) = self.unary(i + 1, end, no_struct);
+                    return (Expr::Unary(UnOp::Neg, Box::new(inner)), j);
+                }
+                "!" => {
+                    let (inner, j) = self.unary(i + 1, end, no_struct);
+                    return (Expr::Unary(UnOp::Not, Box::new(inner)), j);
+                }
+                // Borrows and derefs are value-transparent (`&&` here is a
+                // double borrow, not the logical operator).
+                "&" | "&&" | "*" => {
+                    let mut j = i + 1;
+                    while self
+                        .toks
+                        .get(j)
+                        .is_some_and(|t| t.is_word && t.text == "mut")
+                    {
+                        j += 1;
+                    }
+                    return self.unary(j, end, no_struct);
+                }
+                _ => {}
+            }
+        }
+        self.postfix(i, end, no_struct)
+    }
+
+    /// A primary expression plus its postfix chain (`.field`, `.m(args)`,
+    /// `?`).
+    fn postfix(&self, i: usize, end: usize, no_struct: bool) -> (Expr, usize) {
+        let (mut e, mut j) = self.primary(i, end, no_struct);
+        while j < end {
+            let Some(t) = self.toks.get(j) else { break };
+            if t.is_word {
+                break;
+            }
+            match t.text.as_str() {
+                "?" => {
+                    j += 1;
+                }
+                "." => {
+                    let Some(name_tok) = self.toks.get(j + 1) else { break };
+                    if !name_tok.is_word {
+                        break;
+                    }
+                    let name = name_tok.text.clone();
+                    let line = name_tok.line;
+                    let mut k = j + 2;
+                    // Turbofish: `.parse::<T>()`.
+                    if self.toks.get(k).is_some_and(|t| t.text == "::")
+                        && self.toks.get(k + 1).is_some_and(|t| t.text == "<")
+                    {
+                        let mut depth = 0i32;
+                        while k < end {
+                            match self.toks[k].text.as_str() {
+                                "<" => depth += 1,
+                                ">" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        k += 1;
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                    if self.toks.get(k).is_some_and(|t| !t.is_word && t.text == "(") {
+                        let close = self.matching(k);
+                        let args = self.args(k + 1, close - 1);
+                        e = Expr::Method {
+                            recv: Box::new(e),
+                            name,
+                            args,
+                            line,
+                        };
+                        j = close;
+                    } else {
+                        e = Expr::Field(Box::new(e), name);
+                        j = k;
+                    }
+                }
+                "[" => {
+                    // Indexing: value unmodelled.
+                    j = self.matching(j);
+                    e = Expr::Unknown;
+                }
+                _ => break,
+            }
+        }
+        (e, j)
+    }
+
+    /// Comma-separated argument list in `[start, end)`.
+    fn args(&self, start: usize, end: usize) -> Vec<Expr> {
+        let mut out = Vec::new();
+        let mut i = start;
+        while i < end.min(self.toks.len()) {
+            let (e, j) = self.expr(i, end, false);
+            out.push(e);
+            let mut k = j;
+            // Skip to the comma at depth 0 (robust against partial parses).
+            while k < end {
+                let t = &self.toks[k];
+                if !t.is_word {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => {
+                            k = self.matching(k);
+                            continue;
+                        }
+                        "," => break,
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            if k >= end {
+                break;
+            }
+            i = k + 1;
+        }
+        out
+    }
+
+    /// A primary expression.
+    fn primary(&self, i: usize, end: usize, no_struct: bool) -> (Expr, usize) {
+        let Some(t) = self.toks.get(i).filter(|_| i < end) else {
+            return (Expr::Unknown, i.max(end));
+        };
+        if !t.is_word {
+            return match t.text.as_str() {
+                "(" => {
+                    let close = self.matching(i);
+                    let (inner, j) = self.expr(i + 1, close - 1, false);
+                    // Tuples (a `,` before the close) are unmodelled.
+                    if j < close - 1 {
+                        (Expr::Unknown, close)
+                    } else {
+                        (inner, close)
+                    }
+                }
+                "[" => (Expr::Unknown, self.matching(i)),
+                "{" => {
+                    let close = self.matching(i);
+                    (self.block(i + 1, close - 1), close)
+                }
+                "|" => {
+                    // Closure: skip params to the closing `|`, swallow the
+                    // body expression, surface as unmodelled.
+                    let mut j = i + 1;
+                    while j < end && self.toks[j].text != "|" {
+                        j += 1;
+                    }
+                    let (_, k) = self.expr(j + 1, end, no_struct);
+                    (Expr::Unknown, k)
+                }
+                "||" => {
+                    // Zero-parameter closure.
+                    let (_, k) = self.expr(i + 1, end, no_struct);
+                    (Expr::Unknown, k)
+                }
+                _ => (Expr::Unknown, i + 1),
+            };
+        }
+        match t.text.as_str() {
+            "if" => self.if_expr(i, end),
+            "match" => self.match_expr(i, end),
+            "move" => self.primary(i + 1, end, no_struct),
+            "true" | "false" => (Expr::Unknown, i + 1),
+            _ if is_num_start(t) => self.read_number(i),
+            _ => {
+                // Path: IDENT (:: IDENT | :: <…>)*.
+                let mut segs = vec![t.text.clone()];
+                let mut j = i + 1;
+                while self.toks.get(j).is_some_and(|u| u.text == "::" && j + 1 < end) {
+                    if let Some(next) = self.toks.get(j + 1) {
+                        if next.is_word {
+                            segs.push(next.text.clone());
+                            j += 2;
+                            continue;
+                        }
+                        if next.text == "<" {
+                            // Turbofish in path position.
+                            let mut depth = 0i32;
+                            let mut k = j + 1;
+                            while k < end {
+                                match self.toks[k].text.as_str() {
+                                    "<" => depth += 1,
+                                    ">" => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                            j = (k + 1).min(end);
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                // Call?
+                if self.toks.get(j).is_some_and(|u| !u.is_word && u.text == "(") && j < end {
+                    let close = self.matching(j);
+                    let line = self.toks[j].line;
+                    let args = self.args(j + 1, close - 1);
+                    // Macro-adjacent forms (`vec!`) never reach here: `!`
+                    // binds as unary only in prefix position.
+                    return (
+                        Expr::Call {
+                            callee: segs,
+                            args,
+                            line,
+                        },
+                        close,
+                    );
+                }
+                // Struct literal? `Name { field: …, }`.
+                if !no_struct
+                    && self.toks.get(j).is_some_and(|u| !u.is_word && u.text == "{")
+                    && j < end
+                    && segs
+                        .last()
+                        .is_some_and(|s| s.chars().next().is_some_and(char::is_uppercase))
+                    && self.looks_like_struct_lit(j)
+                {
+                    let close = self.matching(j);
+                    let (fields, base) = self.struct_fields(j + 1, close - 1);
+                    return (
+                        Expr::Struct {
+                            name: segs.last().cloned().unwrap_or_default(),
+                            fields,
+                            base,
+                        },
+                        close,
+                    );
+                }
+                // Macro call `name ! ( … )`: unmodelled.
+                if self.toks.get(j).is_some_and(|u| !u.is_word && u.text == "!") {
+                    if let Some(open) = self
+                        .toks
+                        .get(j + 1)
+                        .filter(|u| matches!(u.text.as_str(), "(" | "[" | "{"))
+                    {
+                        let _ = open;
+                        return (Expr::Unknown, self.matching(j + 1));
+                    }
+                }
+                (Expr::Path(segs), j)
+            }
+        }
+    }
+
+    /// Heuristic: does the `{` at `open` start a struct literal body?
+    fn looks_like_struct_lit(&self, open: usize) -> bool {
+        match self.toks.get(open + 1) {
+            None => false,
+            Some(t) if !t.is_word => matches!(t.text.as_str(), "}" | ".."),
+            Some(t) => {
+                let _ = t;
+                matches!(
+                    self.toks.get(open + 2).map(|u| u.text.as_str()),
+                    Some(":") | Some(",") | Some("}")
+                )
+            }
+        }
+    }
+
+    /// Parses struct-literal fields in `[start, end)`.
+    fn struct_fields(&self, start: usize, end: usize) -> (Vec<(String, Expr)>, Option<Box<Expr>>) {
+        let mut fields = Vec::new();
+        let mut base = None;
+        let mut i = start;
+        while i < end.min(self.toks.len()) {
+            let t = &self.toks[i];
+            if !t.is_word {
+                if t.text == ".." {
+                    let (b, j) = self.expr(i + 1, end, false);
+                    base = Some(Box::new(b));
+                    i = j;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            let name = t.text.clone();
+            if self.toks.get(i + 1).is_some_and(|u| !u.is_word && u.text == ":") {
+                let (v, j) = self.expr(i + 2, end, false);
+                fields.push((name, v));
+                i = j + 1; // skip the comma (or run past end harmlessly)
+            } else {
+                // Shorthand `field,`.
+                fields.push((name.clone(), Expr::Path(vec![name])));
+                i += 2;
+            }
+        }
+        (fields, base)
+    }
+
+    /// `if [let] cond { then } [else if … | else { … }]` as an expression.
+    fn if_expr(&self, i: usize, end: usize) -> (Expr, usize) {
+        let is_let = self.toks.get(i + 1).is_some_and(|t| t.is_word && t.text == "let");
+        let Some(open) = self.find_block_open(i + 1, end) else {
+            return (Expr::Unknown, self.stmt_end(i));
+        };
+        let cond = if is_let {
+            Expr::Unknown
+        } else {
+            self.expr(i + 1, open, true).0
+        };
+        let close = self.matching(open);
+        let then_branch = self.block(open + 1, close - 1);
+        // else?
+        if self
+            .toks
+            .get(close)
+            .filter(|_| close < end)
+            .is_some_and(|t| t.is_word && t.text == "else")
+        {
+            if self
+                .toks
+                .get(close + 1)
+                .is_some_and(|t| t.is_word && t.text == "if")
+            {
+                let (else_branch, j) = self.if_expr(close + 1, end);
+                return (
+                    Expr::If {
+                        cond: Box::new(cond),
+                        then_branch: Box::new(then_branch),
+                        else_branch: Box::new(else_branch),
+                    },
+                    j,
+                );
+            }
+            if self
+                .toks
+                .get(close + 1)
+                .is_some_and(|t| !t.is_word && t.text == "{")
+            {
+                let eclose = self.matching(close + 1);
+                let else_branch = self.block(close + 2, eclose - 1);
+                return (
+                    Expr::If {
+                        cond: Box::new(cond),
+                        then_branch: Box::new(then_branch),
+                        else_branch: Box::new(else_branch),
+                    },
+                    eclose,
+                );
+            }
+        }
+        (
+            Expr::If {
+                cond: Box::new(cond),
+                then_branch: Box::new(then_branch),
+                else_branch: Box::new(Expr::Block(Vec::new(), None)),
+            },
+            close,
+        )
+    }
+
+    /// `match scrutinee { arms }` as the join of its arm bodies.
+    fn match_expr(&self, i: usize, end: usize) -> (Expr, usize) {
+        let Some(open) = self.find_block_open(i + 1, end) else {
+            return (Expr::Unknown, self.stmt_end(i));
+        };
+        // Scrutinee is evaluated for effect only (no refinement).
+        let scrutinee = self.expr(i + 1, open, true).0;
+        let close = self.matching(open);
+        let mut arms: Vec<Expr> = vec![scrutinee];
+        let mut j = open + 1;
+        let body_end = close - 1;
+        while j < body_end {
+            // Skip the pattern to `=>` at depth 0.
+            let mut k = j;
+            let mut found = false;
+            while k < body_end {
+                let t = &self.toks[k];
+                if !t.is_word {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => {
+                            k = self.matching(k);
+                            continue;
+                        }
+                        "=>" => {
+                            found = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            if !found {
+                break;
+            }
+            // Arm body: a block, or an expression up to the `,` at depth 0.
+            let body_start = k + 1;
+            if self
+                .toks
+                .get(body_start)
+                .is_some_and(|t| !t.is_word && t.text == "{")
+            {
+                let bclose = self.matching(body_start);
+                arms.push(self.block(body_start + 1, bclose - 1));
+                j = bclose;
+                if self.toks.get(j).is_some_and(|t| t.text == ",") {
+                    j += 1;
+                }
+            } else {
+                let (e, mut after) = self.expr(body_start, body_end, false);
+                arms.push(e);
+                // Advance over the trailing `,`.
+                while after < body_end && self.toks[after].text != "," {
+                    after = self.stmt_advance(after);
+                }
+                j = after + 1;
+            }
+        }
+        (Expr::Match(arms), close)
+    }
+
+    /// One-token advance that keeps brackets balanced (error recovery).
+    fn stmt_advance(&self, i: usize) -> usize {
+        let t = &self.toks[i];
+        if !t.is_word && matches!(t.text.as_str(), "(" | "[" | "{") {
+            self.matching(i)
+        } else {
+            i + 1
+        }
+    }
+}
+
+/// Rebuilds a dotted place string as the matching `Path`/`Field` chain,
+/// so a compound assignment's desugared read hits the same environment
+/// key as its write.
+fn place_expr(place: &str) -> Expr {
+    let mut parts = place.split('.');
+    let root = parts.next().unwrap_or("");
+    let mut e = Expr::Path(vec![root.to_string()]);
+    for p in parts {
+        e = Expr::Field(Box::new(e), p.to_string());
+    }
+    e
+}
+
+/// Strips an integer/float type suffix from a numeric literal.
+fn strip_suffix(s: &str) -> &str {
+    for suf in [
+        "f64", "f32", "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16",
+        "i16", "u8", "i8",
+    ] {
+        if let Some(head) = s.strip_suffix(suf) {
+            if !head.is_empty() && head.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                return head;
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn ir_of(src: &str) -> FileIr {
+        lower(&tokenize(src))
+    }
+
+    #[test]
+    fn lowers_consts_with_split_float_literals() {
+        let ir = ir_of("pub const LIMIT: f64 = 2.4;\nconst E: f64 = 1e-6;\n");
+        assert_eq!(ir.consts.len(), 2);
+        assert!(matches!(ir.consts[0].expr, Expr::Num(v) if (v - 2.4).abs() < 1e-12));
+        assert!(matches!(ir.consts[1].expr, Expr::Num(v) if (v - 1e-6).abs() < 1e-18));
+    }
+
+    #[test]
+    fn lowers_fn_with_let_and_clamp() {
+        let ir = ir_of(
+            "fn f(x: f64) -> f64 {\n    let y = x * 2.0;\n    y.clamp(-1.0, 1.0)\n}\n",
+        );
+        assert_eq!(ir.fns.len(), 1);
+        let f = &ir.fns[0];
+        assert_eq!(f.params, vec!["x"]);
+        let Expr::Block(stmts, tail) = &f.body else {
+            panic!("body not a block")
+        };
+        assert_eq!(stmts.len(), 1);
+        assert!(matches!(&stmts[0], Stmt::Assign { dst, weak: false, .. } if dst == "y"));
+        let Some(tail) = tail else { panic!("no tail") };
+        assert!(matches!(&**tail, Expr::Method { name, args, .. }
+            if name == "clamp" && args.len() == 2));
+    }
+
+    #[test]
+    fn impl_methods_get_qualified_names() {
+        let ir = ir_of(
+            "struct A;\nimpl A {\n    fn m(&self, v: f64) -> f64 { v }\n}\n",
+        );
+        assert_eq!(ir.fns.len(), 1);
+        assert_eq!(ir.fns[0].qual, "A::m");
+        assert_eq!(ir.fns[0].params, vec!["self", "v"]);
+    }
+
+    #[test]
+    fn if_as_rvalue_keeps_both_branches() {
+        let ir = ir_of("fn g(c: f64) -> f64 { if c > 0.0 { 1.0 } else { -1.0 } }\n");
+        let Expr::Block(_, Some(tail)) = &ir.fns[0].body else {
+            panic!("no tail")
+        };
+        let Expr::If { cond, .. } = &**tail else { panic!("not an if") };
+        assert!(matches!(&**cond, Expr::Bin(BinOp::Gt, _, _)));
+    }
+
+    #[test]
+    fn match_joins_arm_bodies() {
+        let ir = ir_of(
+            "fn h(o: Option<f64>) -> f64 { match o { Some(v) => v, None => 0.0 } }\n",
+        );
+        let Expr::Block(_, Some(tail)) = &ir.fns[0].body else {
+            panic!("no tail")
+        };
+        // Scrutinee + two arms.
+        assert!(matches!(&**tail, Expr::Match(arms) if arms.len() == 3));
+    }
+
+    #[test]
+    fn struct_literal_with_shorthand() {
+        let ir = ir_of("fn s(accel: f64) -> C { C { accel, steer: 0.0 } }\n");
+        let Expr::Block(_, Some(tail)) = &ir.fns[0].body else {
+            panic!("no tail")
+        };
+        let Expr::Struct { name, fields, .. } = &**tail else {
+            panic!("not a struct literal")
+        };
+        assert_eq!(name, "C");
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].0, "accel");
+    }
+
+    #[test]
+    fn compound_assign_desugars() {
+        let ir = ir_of("fn c() { let mut x = 0.0; x += 1.5; }\n");
+        let Expr::Block(stmts, _) = &ir.fns[0].body else { panic!() };
+        let Stmt::Assign { dst, expr, .. } = &stmts[1] else {
+            panic!("not an assign")
+        };
+        assert_eq!(dst, "x");
+        assert!(matches!(expr, Expr::Bin(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn unknown_constructs_do_not_panic() {
+        // Closures, tuples, ranges, macros, indexing: all lower (to
+        // Unknown where needed) without panicking.
+        let ir = ir_of(
+            "fn weird(v: Vec<f64>) -> f64 {\n    let t = (1.0, 2.0);\n    let c = v.iter().map(|x| x * 2.0).sum::<f64>();\n    let r = 0..10;\n    let e = v[0];\n    println!(\"{}\", c);\n    for i in 0..3 { let _ = i; }\n    e + c\n}\n",
+        );
+        assert_eq!(ir.fns.len(), 1);
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let ir = ir_of("#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(true); }\n}\n");
+        assert_eq!(ir.fns.len(), 1);
+        assert!(ir.fns[0].is_test);
+    }
+
+    #[test]
+    fn return_lowers_to_weak_ret_assign() {
+        let ir = ir_of("fn r(c: bool) -> f64 { if c { return 1.0; } 2.0 }\n");
+        let Expr::Block(stmts, Some(_)) = &ir.fns[0].body else { panic!() };
+        let Stmt::Eval { expr, .. } = &stmts[0] else { panic!("expected if") };
+        let Expr::If { then_branch, .. } = expr else { panic!("not if") };
+        let Expr::Block(inner, _) = &**then_branch else { panic!() };
+        assert!(matches!(&inner[0], Stmt::Assign { dst, weak: true, .. } if dst == "%ret"));
+    }
+}

@@ -4,7 +4,7 @@
 //! ADAS attacks succeed precisely by keeping corrupted values *inside* the
 //! safety-check envelope, so the reproduction's own safety layer, unit
 //! handling, and determinism guarantees are machine-checked rather than
-//! convention-checked. Eight rules run over every workspace `.rs` file:
+//! convention-checked. Eleven rules run over every workspace `.rs` file:
 //!
 //! | Rule | Name                  | Invariant                                            |
 //! |------|-----------------------|------------------------------------------------------|
@@ -17,11 +17,19 @@
 //! |      |                       | `Injector` choke point, no ADAS→attack back-flow     |
 //! | R7   | `transitive-panic`    | no call path from `Harness::step` reaches a panic    |
 //! | R8   | `enum-exhaustiveness` | no `_ =>` arms over safety-critical enums            |
+//! | R9   | `envelope-soundness`  | values at actuator encode sinks provably inside the  |
+//! |      |                       | physical limits (interval abstract interpretation)   |
+//! | R10  | `threshold-consistency`| gate/IDS/escalation constants mutually consistent,  |
+//! |      |                       | config constructors reproduce them bit-for-bit       |
+//! | R11  | `clamp-hygiene`       | no inverted/dead clamps, no NaN reaching actuation   |
 //!
 //! R1–R5 and R8 are per-file; R6/R7 are whole-workspace analyses over a
 //! parsed symbol table and cross-file call graph ([`parser`], [`symbols`],
-//! [`callgraph`], [`taint`]). Per-file work is cached by content hash
-//! ([`cache`]) and fanned out across cores, so warm runs are sub-second.
+//! [`callgraph`], [`taint`]); R9–R11 are the semantic layer — interval
+//! abstract interpretation over a lowered IR ([`ir`], [`interval`],
+//! [`absint`]). Per-file work is cached, keyed by content hash mixed with
+//! the scan-configuration fingerprint ([`cache`]), and fanned out across
+//! cores, so warm runs are sub-second.
 //!
 //! Findings can be acknowledged two ways: an inline
 //! `// adas-lint: allow(<rule>, reason = "…")` comment for sites that are
@@ -34,10 +42,13 @@
 #![forbid(unsafe_code)]
 #![deny(clippy::float_cmp)]
 
+pub mod absint;
 pub mod baseline;
 pub mod cache;
 pub mod callgraph;
 pub mod diag;
+pub mod interval;
+pub mod ir;
 pub mod parser;
 pub mod rules;
 pub mod sarif;
@@ -69,6 +80,9 @@ pub struct ScanOptions {
     pub cache_dir: Option<PathBuf>,
     /// Whether to analyze files across worker threads.
     pub parallel: bool,
+    /// Active rules; findings for other rules are not computed or
+    /// reported. Part of the cache key — see [`cache::scan_key`].
+    pub rules: Vec<Rule>,
 }
 
 impl Default for ScanOptions {
@@ -77,7 +91,25 @@ impl Default for ScanOptions {
             use_cache: true,
             cache_dir: None,
             parallel: true,
+            rules: ALL_RULES.to_vec(),
         }
+    }
+}
+
+impl ScanOptions {
+    /// Whether every rule is active (subset scans skip the dead-suppression
+    /// and stale-baseline checks, which only a full scan can judge).
+    fn full_rule_set(&self) -> bool {
+        cache::config_fingerprint(&self.rules) == cache::config_fingerprint(&ALL_RULES)
+    }
+
+    fn semantic_active(&self) -> bool {
+        self.rules.iter().any(|r| {
+            matches!(
+                r,
+                Rule::EnvelopeSoundness | Rule::ThresholdConsistency | Rule::ClampHygiene
+            )
+        })
     }
 }
 
@@ -120,14 +152,16 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     out
 }
 
-/// Scans an in-memory multi-file set: per-file rules plus the cross-file
-/// R6/R7 analyses, with the permissive crate closure (every crate sees
-/// every other — there are no manifests to consult). Inline suppressions
-/// are honored, no baseline. This is how the taint-flow fixture tests
-/// drive the workspace rules without a workspace on disk.
+/// Scans an in-memory multi-file set: per-file rules, the cross-file
+/// R6/R7 analyses with the permissive crate closure (every crate sees
+/// every other — there are no manifests to consult), and the semantic
+/// R9–R11 layer over the files its scope covers. Inline suppressions are
+/// honored, no baseline. This is how the fixture tests drive the
+/// workspace rules without a workspace on disk.
 pub fn scan_sources(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
     let mut parsed: Vec<(FileInfo, parser::FileFacts)> = Vec::new();
     let mut tokenized: Vec<tokenizer::SourceFile> = Vec::new();
+    let mut semfiles: Vec<absint::SemFile> = Vec::new();
     let mut out: Vec<Diagnostic> = Vec::new();
     for (rel, text) in sources {
         let info = classify(rel);
@@ -138,6 +172,14 @@ pub fn scan_sources(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
                 .into_iter()
                 .filter(|d| !file.is_suppressed(d.line, d.rule)),
         );
+        if scope::needs_ir(&info) {
+            semfiles.push(absint::SemFile::new(
+                info.rel.clone(),
+                tokenizer::tokenize(text),
+                scope::r9_applies(&info),
+                scope::r11_applies(&info),
+            ));
+        }
         parsed.push((info, facts));
         tokenized.push(file);
     }
@@ -145,6 +187,7 @@ pub fn scan_sources(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
     let graph = callgraph::CallGraph::build(&parsed, &table);
     let mut ws = taint::r6_taint_flow(&table, &graph);
     ws.extend(callgraph::r7_transitive_panic_freedom(&table, &graph));
+    ws.extend(absint::semantic_rules(&semfiles));
     for d in ws {
         let suppressed = parsed
             .iter()
@@ -207,26 +250,43 @@ pub fn scan_workspace_with(
         .cache_dir
         .clone()
         .unwrap_or_else(|| default_cache_dir(root));
+    let cfg = cache::config_fingerprint(&opts.rules);
+    let sem_active = opts.semantic_active();
 
     // Phase 1: per-file analysis — tokenize/parse/local rules, or a cache
-    // hit keyed by content hash. Pure per-file work, so it fans out.
-    let analyze = |i: usize| -> io::Result<(FileInfo, cache::FileAnalysis, bool)> {
+    // hit keyed by content hash mixed with the scan configuration. Pure
+    // per-file work, so it fans out. Semantic IR lowering rides along here
+    // (it is also pure per-file work) but is cache-*independent*: the IR
+    // holds borrows-free trees that are cheap to rebuild and expensive to
+    // serialize, and the whole-program phase re-reads them every run
+    // anyway — caching them could only add a staleness channel.
+    type PerFile = (FileInfo, cache::FileAnalysis, bool, Option<absint::SemFile>);
+    let analyze = |i: usize| -> io::Result<PerFile> {
         let rel = &rels[i];
         let source = fs::read_to_string(root.join(rel))?;
         let info = classify(rel);
-        let hash = cache::content_hash(source.as_bytes());
+        let key = cache::scan_key(cache::content_hash(source.as_bytes()), cfg);
+        let sem = (sem_active && scope::needs_ir(&info)).then(|| {
+            absint::SemFile::new(
+                rel.clone(),
+                tokenizer::tokenize(&source),
+                scope::r9_applies(&info),
+                scope::r11_applies(&info),
+            )
+        });
         if opts.use_cache {
-            if let Some(a) = cache::load(&cache_dir, rel, hash) {
-                return Ok((info, a, true));
+            if let Some(a) = cache::load(&cache_dir, rel, key) {
+                return Ok((info, a, true, sem));
             }
         }
-        let a = rules::analyze_file(&info, &source);
+        let mut a = rules::analyze_file(&info, &source);
+        a.raw_diags.retain(|d| opts.rules.contains(&d.rule));
         if opts.use_cache {
-            cache::store(&cache_dir, rel, hash, &a);
+            cache::store(&cache_dir, rel, key, &a);
         }
-        Ok((info, a, false))
+        Ok((info, a, false, sem))
     };
-    let results: Vec<io::Result<(FileInfo, cache::FileAnalysis, bool)>> = if opts.parallel {
+    let results: Vec<io::Result<PerFile>> = if opts.parallel {
         platform::experiment::run_parallel_map(rels.len(), analyze)
     } else {
         (0..rels.len()).map(analyze).collect()
@@ -234,11 +294,15 @@ pub fn scan_workspace_with(
 
     let mut report = ScanReport::default();
     let mut analyses: Vec<(FileInfo, cache::FileAnalysis)> = Vec::with_capacity(results.len());
+    let mut semfiles: Vec<absint::SemFile> = Vec::new();
     for r in results {
-        let (info, a, hit) = r?;
+        let (info, a, hit, sem) = r?;
         report.files_scanned += 1;
         if hit {
             report.cache_hits += 1;
+        }
+        if let Some(s) = sem {
+            semfiles.push(s);
         }
         analyses.push((info, a));
     }
@@ -263,6 +327,10 @@ pub fn scan_workspace_with(
     let graph = callgraph::CallGraph::build(&files, &table);
     let mut workspace_diags = taint::r6_taint_flow(&table, &graph);
     workspace_diags.extend(callgraph::r7_transitive_panic_freedom(&table, &graph));
+    if sem_active {
+        workspace_diags.extend(absint::semantic_rules(&semfiles));
+    }
+    workspace_diags.retain(|d| opts.rules.contains(&d.rule));
 
     // Phase 3: suppression and baseline resolution, tracking which
     // suppressions actually earned their keep.
@@ -304,8 +372,12 @@ pub fn scan_workspace_with(
         }
     }
 
+    // Only a full scan can call a suppression dead or a baseline entry
+    // stale: under `--rules` subsets, a finding the entry absorbs may
+    // simply not have been computed this run.
+    let full = opts.full_rule_set();
     for (file, site, used) in sites {
-        if used {
+        if used || !full {
             continue;
         }
         let claimed = if site.rules.is_empty() {
@@ -333,7 +405,9 @@ pub fn scan_workspace_with(
     }
 
     if let Some(b) = baseline {
-        report.unused_baseline = b.unused();
+        if full {
+            report.unused_baseline = b.unused();
+        }
     }
     report
         .active

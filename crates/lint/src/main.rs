@@ -44,10 +44,14 @@ const USAGE: &str = "adas-lint — safety-invariant static analysis for this wor
 USAGE:
     adas-lint [--root DIR] [--format human|json|sarif] [--baseline FILE]
               [--no-baseline] [--write-baseline] [--list-rules] [--list-files]
-              [--sarif-out FILE] [--no-cache] [--cache-dir DIR] [--timings]
+              [--rules R1,R2,...] [--sarif-out FILE] [--no-cache]
+              [--cache-dir DIR] [--timings]
 
 OPTIONS:
     --root DIR         Workspace root to scan (default: auto-detected)
+    --rules LIST       Comma-separated rule ids to run (default: all).
+                       Subset scans skip dead-suppression/stale-baseline
+                       checks, which only a full scan can judge.
     --format FMT       Output format: human (default), json, or sarif
     --baseline FILE    Baseline file (default: <root>/lint-baseline.txt)
     --no-baseline      Ignore the baseline; report every finding
@@ -98,6 +102,21 @@ fn parse_args() -> Result<Options, String> {
             "--sarif-out" => {
                 opts.sarif_out =
                     Some(PathBuf::from(args.next().ok_or("--sarif-out needs a value")?));
+            }
+            "--rules" => {
+                let spec = args.next().ok_or("--rules needs a value")?;
+                let mut rules = Vec::new();
+                for id in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    let rule = adas_lint::Rule::parse(id)
+                        .ok_or_else(|| format!("unknown rule `{id}` (try --list-rules)"))?;
+                    if !rules.contains(&rule) {
+                        rules.push(rule);
+                    }
+                }
+                if rules.is_empty() {
+                    return Err("--rules needs at least one rule id".to_string());
+                }
+                opts.scan.rules = rules;
             }
             "--no-cache" => opts.scan.use_cache = false,
             "--cache-dir" => {

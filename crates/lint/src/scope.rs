@@ -75,6 +75,24 @@ pub const R8_ENUMS: [&str; 10] = [
     "IdsVerdict",
 ];
 
+/// Crates whose library/binary code the semantic layer (R9–R11) lowers to
+/// IR: everything between sensing and actuation, plus the attack and
+/// defense crates whose constants R10 cross-checks.
+pub const SEMANTIC_CRATES: [&str; 8] = [
+    "openadas",
+    "canbus",
+    "driving-sim",
+    "driver-model",
+    "units",
+    "msgbus",
+    "core",
+    "defense",
+];
+
+/// Crates holding R9 actuator-encode sinks: the ADAS controller that emits
+/// commands and the bus codec that frames them.
+pub const R9_CRATES: [&str; 2] = ["openadas", "canbus"];
+
 /// Classifies a workspace-relative path.
 pub fn classify(rel: &str) -> FileInfo {
     let rel = rel.replace('\\', "/");
@@ -134,6 +152,23 @@ pub fn r8_applies(info: &FileInfo) -> bool {
     matches!(info.kind, FileKind::Lib | FileKind::Bin | FileKind::Example)
 }
 
+/// Whether the semantic layer lowers this file to IR at all (R9–R11 input
+/// set; also where R10 resolves constants and config constructors from).
+pub fn needs_ir(info: &FileInfo) -> bool {
+    matches!(info.kind, FileKind::Lib | FileKind::Bin)
+        && SEMANTIC_CRATES.contains(&info.crate_name.as_str())
+}
+
+/// R9 checks encode sinks only in the crates that own them.
+pub fn r9_applies(info: &FileInfo) -> bool {
+    needs_ir(info) && R9_CRATES.contains(&info.crate_name.as_str())
+}
+
+/// R11 covers every file the semantic layer lowers.
+pub fn r11_applies(info: &FileInfo) -> bool {
+    needs_ir(info)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +202,16 @@ mod tests {
         assert!(r3_applies(&classify("crates/core/src/engine.rs")));
         assert!(!r5_applies(&classify("crates/bench/benches/micro.rs")));
         assert!(r5_applies(&classify("crates/driving-sim/src/world.rs")));
+    }
+
+    #[test]
+    fn semantic_scope() {
+        assert!(needs_ir(&classify("crates/openadas/src/adas.rs")));
+        assert!(needs_ir(&classify("crates/defense/src/ids.rs")));
+        assert!(!needs_ir(&classify("crates/lint/src/absint.rs")));
+        assert!(!needs_ir(&classify("crates/openadas/tests/properties.rs")));
+        assert!(r9_applies(&classify("crates/canbus/src/codec.rs")));
+        assert!(!r9_applies(&classify("crates/core/src/corruption.rs")));
+        assert!(r11_applies(&classify("crates/core/src/corruption.rs")));
     }
 }

@@ -1,0 +1,220 @@
+//! Property tests for the interval domain behind adas-lint's semantic
+//! rules (R9–R11). Two families:
+//!
+//! 1. **Widening termination** — the widening operator must reach a
+//!    fixpoint in a bounded number of steps no matter what sequence of
+//!    intervals the loop body produces, or the analyzer's loop fixpoint
+//!    would not terminate.
+//! 2. **Differential soundness** — for random expression trees evaluated
+//!    both concretely (on `f64` points) and abstractly (on intervals
+//!    containing those points), the concrete result must land inside the
+//!    abstract interval. This is the soundness statement R9 relies on:
+//!    if the interval maths ever under-approximated, "proved bounded"
+//!    would be a lie.
+//!
+//! NaN is out of scope here by design: the `Interval` domain tracks
+//! magnitudes only, and NaN-production is tracked separately by the
+//! analyzer's `maybe_nan` flag (see `absint`). A concrete NaN result
+//! therefore exits the containment check.
+
+use adas_lint::interval::Interval;
+use proptest::prelude::*;
+
+/// A sorted, finite pair — the raw material for a well-formed interval.
+fn bounds() -> impl Strategy<Value = (f64, f64)> {
+    (-1e9..1e9f64, -1e9..1e9f64).prop_map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+}
+
+/// One stack-machine instruction of a random expression tree.
+///
+/// Trees are encoded in reverse Polish order so they can be drawn as a
+/// flat `Vec` with the shim's strategies: `Leaf` pushes a (point,
+/// interval) pair with the point inside the interval; the operators pop
+/// one or two operands and push the result computed concretely and
+/// abstractly in lockstep.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Leaf,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+    Abs,
+    Min,
+    Max,
+    Sqrt,
+    Clamp,
+}
+
+const OPS: [Op; 11] = [
+    Op::Leaf,
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::Div,
+    Op::Neg,
+    Op::Abs,
+    Op::Min,
+    Op::Max,
+    Op::Sqrt,
+    Op::Clamp,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn widening_reaches_a_fixpoint_in_bounded_steps(
+        seqs in prop::collection::vec(bounds(), 1..24),
+        start in bounds(),
+    ) {
+        let mut w = Interval::new(start.0, start.1);
+        let mut stable_at = None;
+        // Mimic the analyzer's loop: join in the next body state, widen
+        // against the previous head state, stop when nothing moves.
+        for (i, (lo, hi)) in seqs.iter().enumerate() {
+            let next = w.join(Interval::new(*lo, *hi));
+            let widened = Interval::widen(w, next);
+            // Widening must over-approximate both its arguments…
+            prop_assert!(widened.lo <= w.lo && widened.hi >= w.hi);
+            prop_assert!(widened.lo <= next.lo && widened.hi >= next.hi);
+            if widened.lo.to_bits() == w.lo.to_bits() && widened.hi.to_bits() == w.hi.to_bits() {
+                stable_at = Some(i);
+                break;
+            }
+            w = widened;
+        }
+        // …and each bound can only move once (straight to ±∞), so the
+        // chain stabilises after at most two widening steps.
+        if stable_at.is_none() {
+            prop_assert!(
+                seqs.len() <= 2,
+                "widening failed to stabilise after {} steps: {w:?}",
+                seqs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn widened_interval_is_a_post_fixpoint(a in bounds(), b in bounds()) {
+        let prev = Interval::new(a.0, a.1);
+        let next = Interval::new(b.0, b.1);
+        let w = Interval::widen(prev, next);
+        // Re-widening with anything already inside `w` must be a no-op:
+        // that is what makes the analyzer's "one final unmuted pass"
+        // sound after the fixpoint loop exits.
+        let again = Interval::widen(w, w.join(next));
+        prop_assert!(again.lo.to_bits() == w.lo.to_bits() && again.hi.to_bits() == w.hi.to_bits());
+    }
+
+    #[test]
+    fn random_expression_trees_are_soundly_abstracted(
+        ops in prop::collection::vec(prop::sample::select(OPS.to_vec()), 1..40),
+        leaves in prop::collection::vec((bounds(), 0.0..1.0f64), 40),
+        clamps in prop::collection::vec(bounds(), 40),
+    ) {
+        // Stack of (concrete point, abstract interval) pairs, kept in
+        // lockstep. Leaves place the point inside the interval by linear
+        // interpolation, so containment holds at the base case.
+        let mut stack: Vec<(f64, Interval)> = Vec::new();
+        let mut leaf_i = 0usize;
+        let mut clamp_i = 0usize;
+
+        let leaf = |i: &mut usize| {
+            let ((lo, hi), t) = leaves[*i % leaves.len()];
+            *i += 1;
+            let point = lo + (hi - lo) * t;
+            let point = point.clamp(lo, hi); // guard rounding at the ends
+            (point, Interval::new(lo, hi))
+        };
+
+        for op in &ops {
+            match op {
+                Op::Leaf => stack.push(leaf(&mut leaf_i)),
+                Op::Neg | Op::Abs | Op::Sqrt => {
+                    let (c, iv) = stack.pop().unwrap_or_else(|| leaf(&mut leaf_i));
+                    let out = match op {
+                        Op::Neg => (-c, iv.neg()),
+                        Op::Abs => (c.abs(), iv.abs()),
+                        _ => (c.sqrt(), iv.sqrt()),
+                    };
+                    stack.push(out);
+                }
+                Op::Clamp => {
+                    let (c, iv) = stack.pop().unwrap_or_else(|| leaf(&mut leaf_i));
+                    let (lo, hi) = clamps[clamp_i % clamps.len()];
+                    clamp_i += 1;
+                    let clamped = if c.is_nan() { c } else { c.clamp(lo, hi) };
+                    stack.push((clamped, iv.clamp(Interval::point(lo), Interval::point(hi))));
+                }
+                Op::Min | Op::Max => {
+                    let (rc, riv) = stack.pop().unwrap_or_else(|| leaf(&mut leaf_i));
+                    let (lc, liv) = stack.pop().unwrap_or_else(|| leaf(&mut leaf_i));
+                    // `Interval::min`/`max` are the both-clean shapes; the
+                    // analyzer's NumVal layer handles NaN laundering
+                    // (`f64::min(NaN, x)` returns `x`) by re-admitting the
+                    // clean operand's range whenever the other side may be
+                    // NaN. The harness mirrors that rule with the concrete
+                    // NaN status standing in for `maybe_nan`.
+                    let mut iv = if matches!(op, Op::Min) {
+                        liv.min(riv)
+                    } else {
+                        liv.max(riv)
+                    };
+                    if lc.is_nan() {
+                        iv = iv.join(riv);
+                    }
+                    if rc.is_nan() {
+                        iv = iv.join(liv);
+                    }
+                    let c = if matches!(op, Op::Min) { lc.min(rc) } else { lc.max(rc) };
+                    stack.push((c, iv));
+                }
+                _ => {
+                    let (rc, riv) = stack.pop().unwrap_or_else(|| leaf(&mut leaf_i));
+                    let (lc, liv) = stack.pop().unwrap_or_else(|| leaf(&mut leaf_i));
+                    let out = match op {
+                        Op::Add => (lc + rc, liv.add(riv)),
+                        Op::Sub => (lc - rc, liv.sub(riv)),
+                        Op::Mul => (lc * rc, liv.mul(riv)),
+                        _ => (lc / rc, liv.div(riv)),
+                    };
+                    stack.push(out);
+                }
+            }
+            // The invariant holds at every intermediate node, not just
+            // the root — check as we go so a violation points at the
+            // exact operator that broke soundness.
+            let (c, iv) = *stack.last().expect("stack is never empty after an op");
+            if !c.is_nan() {
+                prop_assert!(
+                    iv.contains(c),
+                    "concrete {c} escaped abstract {iv:?} after {} ops",
+                    ops.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_over_approximates_both_sides(a in bounds(), b in bounds(), t in 0.0..1.0f64) {
+        let ia = Interval::new(a.0, a.1);
+        let ib = Interval::new(b.0, b.1);
+        let j = ia.join(ib);
+        let pa = (a.0 + (a.1 - a.0) * t).clamp(a.0, a.1);
+        let pb = (b.0 + (b.1 - b.0) * t).clamp(b.0, b.1);
+        prop_assert!(j.contains(pa) && j.contains(pb));
+    }
+
+    #[test]
+    fn meet_is_exact_intersection(a in bounds(), b in bounds(), t in 0.0..1.0f64) {
+        let ia = Interval::new(a.0, a.1);
+        let ib = Interval::new(b.0, b.1);
+        let p = (a.0 + (a.1 - a.0) * t).clamp(a.0, a.1);
+        match ia.meet(ib) {
+            Some(m) => prop_assert!(m.contains(p) == (ia.contains(p) && ib.contains(p))),
+            None => prop_assert!(!(ia.contains(p) && ib.contains(p))),
+        }
+    }
+}

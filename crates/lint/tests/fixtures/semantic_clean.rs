@@ -1,0 +1,52 @@
+//! The prover's positive side: every flow here is provable, so the
+//! semantic rules (R9/R10/R11) must report nothing. Each function
+//! exercises one proof technique the analyzer relies on in the real
+//! workspace.
+
+pub const PHYS_BRAKE_MIN_MPS2: f64 = -9.8;
+pub const PHYS_ACCEL_MAX_MPS2: f64 = 5.0;
+pub const PHYS_STEER_MAX_DEG: f64 = 5.0;
+pub const SW_BRAKE_MIN_MPS2: f64 = -4.0;
+pub const SW_ACCEL_MAX_MPS2: f64 = 2.4;
+
+pub struct CarControl {
+    pub accel: f64,
+    pub steer: f64,
+}
+
+// Terminal clamp through a free function — the shape of
+// `safety::envelope_clamp`, resolved and inlined by the analyzer.
+fn envelope_clamp(c: CarControl) -> CarControl {
+    CarControl {
+        accel: c.accel.clamp(SW_BRAKE_MIN_MPS2, SW_ACCEL_MAX_MPS2),
+        steer: c.steer.clamp(-0.05, 0.05),
+    }
+}
+
+pub fn emit_struct(enc: &CommandEncoder, c: CarControl) {
+    let c = envelope_clamp(c);
+    enc.encode_into(&c);
+}
+
+// min/max launder NaN: the clean operands both clear the flag and
+// bound the range, so 0/0 upstream is provably harmless here.
+pub fn emit_laundered(enc: &CommandEncoder, x: f64, y: f64) {
+    let v = (x / y).min(2.0).max(-4.0);
+    enc.encode_into(&v);
+}
+
+// Guard refinement: the positive ordered comparison both narrows the
+// interval and rules NaN out on the taken branch.
+pub fn emit_guarded(enc: &CommandEncoder, x: f64) {
+    if x > 0.0 && x < 2.0 {
+        enc.encode_into(&x);
+    }
+}
+
+// A clamp that genuinely narrows is not dead, even when a wider one
+// follows a *different* value.
+pub fn distinct_clamps(x: f64, y: f64) -> f64 {
+    let a = x.clamp(0.0, 1.0);
+    let b = y.clamp(-5.0, 5.0);
+    a + b
+}

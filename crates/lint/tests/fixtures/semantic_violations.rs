@@ -1,0 +1,76 @@
+//! Seeded semantic-rule violations (R9/R10/R11) for the golden fixture
+//! test. Scanned as `crates/openadas/src/fixture.rs` — the strictest
+//! scope. Line numbers are load-bearing: `semantic_violations.expected`
+//! pins (rule, line) pairs, so edits here must update it.
+
+// ---- R10: threshold-consistency seeds -------------------------------
+
+// Staleness is detected only AFTER the degradation ladder escalates —
+// the ladder acts on data it never classified as stale.
+pub const STALE_AFTER_TICKS: u32 = 40;
+pub const DEGRADE_AFTER_TICKS: u32 = 30;
+pub const FAILSAFE_AFTER_TICKS: u32 = 60;
+
+// Envelope nesting broken: the "strict" ceiling exceeds the software one.
+pub const STRICT_ACCEL_MAX_MPS2: f64 = 3.0;
+pub const SW_ACCEL_MAX_MPS2: f64 = 2.4;
+pub const PHYS_ACCEL_MAX_MPS2: f64 = 5.0;
+
+// IDS thresholds, canonical…
+pub const IDS_MISS_AFTER: u32 = 10;
+pub const IDS_TIMING_THRESHOLD: u32 = 10;
+pub const IDS_COUNTER_THRESHOLD: u32 = 5;
+pub const IDS_CHECKSUM_THRESHOLD: u32 = 4;
+
+pub struct IdsConfig {
+    pub miss_after: u32,
+    pub timing_threshold: u32,
+    pub counter_threshold: u32,
+    pub checksum_threshold: u32,
+}
+
+impl IdsConfig {
+    // …but the runtime config drifts from IDS_TIMING_THRESHOLD.
+    pub fn default() -> IdsConfig {
+        IdsConfig {
+            miss_after: IDS_MISS_AFTER,
+            timing_threshold: 12,
+            counter_threshold: IDS_COUNTER_THRESHOLD,
+            checksum_threshold: IDS_CHECKSUM_THRESHOLD,
+        }
+    }
+}
+
+// ---- R9: envelope-soundness seeds -----------------------------------
+
+// An unconstrained parameter reaches the encoder: nothing bounds it.
+pub fn emit_raw(enc: &CommandEncoder, raw: f64) {
+    enc.encode_into(&raw);
+}
+
+// Clamped, but to a range wider than the physical envelope — the
+// interval chain in the diagnostic shows exactly where [-20, 10] came
+// from and why it does not fit inside [-9.8, 5].
+pub fn emit_wide(enc: &CommandEncoder, raw: f64) {
+    let v = raw.clamp(-20.0, 10.0);
+    enc.encode_into(&v);
+}
+
+// ---- R11: clamp-hygiene seeds ---------------------------------------
+
+// A clamp does not launder NaN: 0/0 sails straight through to the bus.
+pub fn emit_nan(enc: &CommandEncoder, x: f64, y: f64) {
+    let v = (x / y).clamp(-4.0, 2.0);
+    enc.encode_into(&v);
+}
+
+// Inverted bounds: f64::clamp panics at runtime on this pair.
+pub fn inverted(x: f64) -> f64 {
+    x.clamp(5.0, -5.0)
+}
+
+// The second clamp is dead: its receiver is already proven inside.
+pub fn shadowed(x: f64) -> f64 {
+    let narrow = x.clamp(0.0, 1.0);
+    narrow.clamp(-5.0, 5.0)
+}

@@ -20,6 +20,7 @@ fn opts(cache_dir: Option<PathBuf>, use_cache: bool) -> ScanOptions {
         use_cache,
         cache_dir,
         parallel: false,
+        ..ScanOptions::default()
     }
 }
 
@@ -74,6 +75,44 @@ fn editing_a_file_invalidates_only_its_entry() {
         second.cache_hits,
         second.files_scanned - 1,
         "the unchanged file stays cached"
+    );
+}
+
+#[test]
+fn cache_entries_are_keyed_by_rule_set() {
+    // Regression test: cached per-file facts are filtered to the active rule
+    // set before they are stored, so a cache populated by a subset scan must
+    // never satisfy a full scan. The scan key folds the rule-set fingerprint
+    // into the content hash; a shared cache dir therefore keeps the scans
+    // independent.
+    let ws = temp_ws("cache_rule_set_key");
+    fs::write(
+        ws.join("crates/openadas/src/lib.rs"),
+        "fn helper(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\npub fn fine() {}\n",
+    )
+    .expect("write");
+    let cache = ws.join("lint-cache");
+
+    // Populate the cache with a scan that does NOT run R2 (panic-freedom).
+    let subset = ScanOptions {
+        rules: vec![Rule::UnitSafety],
+        ..opts(Some(cache.clone()), true)
+    };
+    let narrow = scan_workspace_with(&ws, None, &subset).expect("subset scan");
+    assert!(
+        narrow.active.iter().all(|d| d.rule == Rule::UnitSafety),
+        "subset scan must only report requested rules: {:?}",
+        narrow.active
+    );
+
+    // A full scan over the same cache dir must still see the unwrap: its
+    // scan key differs, so the narrow entry cannot be (wrongly) reused.
+    let full = scan_workspace_with(&ws, None, &opts(Some(cache), true)).expect("full scan");
+    assert_eq!(full.cache_hits, 0, "full scan must not reuse subset entries");
+    assert!(
+        full.active.iter().any(|d| d.rule == Rule::PanicFreedom),
+        "the planted unwrap must survive a warm subset cache: {:?}",
+        full.active
     );
 }
 

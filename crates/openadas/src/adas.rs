@@ -10,6 +10,7 @@ use crate::acc::AccOutput;
 use crate::alc::AlcOutput;
 use crate::degradation::{FAILSAFE_BRAKE, GENTLE_BRAKE};
 use crate::plausibility::STALE_AFTER_TICKS;
+use crate::safety;
 use crate::{
     AccController, AlcController, AlertManager, CarStateEstimator, CommandEncoder,
     DegradationMonitor, DegradationState, GateConfig, LaneProcessor, LeadTracker,
@@ -279,6 +280,10 @@ impl Adas {
         } else {
             CarControl::default()
         };
+        // Terminal envelope: every path into the encoder passes this clamp
+        // (the invariant adas-lint R9 proves). No-op on the nominal path —
+        // ACC and ALC outputs are already clamped tighter upstream.
+        let control = safety::envelope_clamp(control);
         self.last_control = control;
 
         let brake = control.accel.min(Accel::ZERO);

@@ -18,31 +18,31 @@
 
 use msgbus::schema::AlertKind;
 use serde::{Deserialize, Serialize};
-use units::Accel;
+use units::{limits, Accel};
 
 /// Consecutive silent ticks (0.25 s) before a stream is declared stale and
 /// the ADAS degrades. Deliberately shorter than the lead tracker's
 /// `MAX_DROPOUT` coast window (0.3 s) so degradation braking begins while
 /// the coasted lead estimate is still valid.
-pub const DEGRADE_AFTER: u32 = 25;
+pub const DEGRADE_AFTER: u32 = limits::DEGRADE_AFTER_TICKS;
 
 /// Consecutive silent ticks (1.5 s) of any single stream before the ADAS
 /// gives up on it returning and commands a fail-safe stop.
-pub const FAILSAFE_AFTER: u32 = 150;
+pub const FAILSAFE_AFTER: u32 = limits::FAILSAFE_AFTER_TICKS;
 
 /// Consecutive all-streams-healthy ticks (1 s) required to leave any
 /// degraded state. Recovery is only ever to [`DegradationState::Nominal`]
 /// and only after this full window — the no-flapping hysteresis.
-pub const RECOVERY_TICKS: u32 = 100;
+pub const RECOVERY_TICKS: u32 = limits::RECOVERY_TICKS;
 
 /// Longitudinal command while ACC is off (m/s²): a gentle brake, far above
 /// the FCW trigger threshold, that sheds speed while the driver is alerted.
-pub const GENTLE_BRAKE: Accel = Accel::from_mps2(-1.0);
+pub const GENTLE_BRAKE: Accel = Accel::from_mps2(limits::GENTLE_BRAKE_MPS2);
 
 /// Longitudinal command during a fail-safe stop (m/s²): a firm controlled
 /// stop that stays inside the Panda safety envelope (hard-brake limit
 /// −3.5 m/s²) and below the FCW threshold.
-pub const FAILSAFE_BRAKE: Accel = Accel::from_mps2(-2.5);
+pub const FAILSAFE_BRAKE: Accel = Accel::from_mps2(limits::FAILSAFE_BRAKE_MPS2);
 
 /// Where the ADAS sits on the degradation ladder.
 ///

@@ -37,7 +37,8 @@
 //! invariants), not the gates'.
 
 use msgbus::schema::{GpsLocation, LaneModel, RadarState};
-use units::Tick;
+use units::mix::splitmix64;
+use units::{limits, Tick};
 
 use crate::{CarStateEstimator, LeadTracker};
 
@@ -47,7 +48,7 @@ use crate::{CarStateEstimator, LeadTracker};
 /// republishes old readings whose envelope tick lags the publish tick.
 /// Generous against legitimate jitter (the lock-step harness publishes at
 /// age 0), tight against the fault grammar's 10-tick default delay.
-pub const STALE_AFTER_TICKS: u64 = 5;
+pub const STALE_AFTER_TICKS: u64 = limits::STALE_AFTER_TICKS;
 
 /// Thresholds of the plausibility gates. All defaults are calibrated to
 /// never fire on the clean S1–S4 matrix (asserted by the false-positive
@@ -88,15 +89,15 @@ impl GateConfig {
     pub fn enforcing() -> Self {
         Self {
             enforce: true,
-            innovation_sigma: 6.0,
-            max_speed_jump: 1.0,
-            max_dist_jump: 4.0,
-            max_lead_speed_jump: 3.0,
-            max_offset_jump: 0.5,
-            stuck_after: 5,
-            reacquire_after: 15,
-            min_moving_speed: 0.5,
-            elapsed_cap: 10,
+            innovation_sigma: limits::GATE_INNOVATION_SIGMA,
+            max_speed_jump: limits::GATE_MAX_SPEED_JUMP_MPS,
+            max_dist_jump: limits::GATE_MAX_DIST_JUMP_M,
+            max_lead_speed_jump: limits::GATE_MAX_LEAD_SPEED_JUMP_MPS,
+            max_offset_jump: limits::GATE_MAX_OFFSET_JUMP_M,
+            stuck_after: limits::GATE_STUCK_AFTER,
+            reacquire_after: limits::GATE_REACQUIRE_AFTER,
+            min_moving_speed: limits::GATE_MIN_MOVING_SPEED_MPS,
+            elapsed_cap: limits::GATE_ELAPSED_CAP,
         }
     }
 
@@ -113,15 +114,6 @@ impl Default for GateConfig {
     fn default() -> Self {
         Self::enforcing()
     }
-}
-
-/// Splitmix64 finalizer for fingerprinting readings; collisions between
-/// distinct readings are astronomically unlikely and deterministic.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 /// Per-stream gate machinery shared by GPS, lane and radar: stuck
@@ -229,7 +221,7 @@ impl PerceptionGates {
     pub fn admit_gps(&mut self, tick: Tick, gps: &GpsLocation, est: &CarStateEstimator) -> bool {
         let t = tick.index();
         let z = gps.speed.mps();
-        let identical = self.gps.observe_fp(mix(z.to_bits()));
+        let identical = self.gps.observe_fp(splitmix64(z.to_bits()));
         let moving = z >= self.cfg.min_moving_speed;
         let stuck = moving && identical && self.gps.identical_streak >= self.cfg.stuck_after;
 
@@ -263,9 +255,9 @@ impl PerceptionGates {
     pub fn admit_lane(&mut self, tick: Tick, lane: &LaneModel) -> bool {
         let t = tick.index();
         let offset = lane.lateral_offset().raw();
-        let fp = mix(lane.left_line.raw().to_bits())
-            ^ mix(lane.right_line.raw().to_bits().rotate_left(1))
-            ^ mix(lane.curvature.to_bits().rotate_left(2));
+        let fp = splitmix64(lane.left_line.raw().to_bits())
+            ^ splitmix64(lane.right_line.raw().to_bits().rotate_left(1))
+            ^ splitmix64(lane.curvature.to_bits().rotate_left(2));
         let identical = self.lane.observe_fp(fp);
         let stuck = identical && self.lane.identical_streak >= self.cfg.stuck_after;
 
@@ -310,9 +302,9 @@ impl PerceptionGates {
         let t = tick.index();
         let d = lead.d_rel.raw();
         let v = lead.v_lead.mps();
-        let fp = mix(d.to_bits())
-            ^ mix(v.to_bits().rotate_left(1))
-            ^ mix(lead.a_lead.mps2().to_bits().rotate_left(2));
+        let fp = splitmix64(d.to_bits())
+            ^ splitmix64(v.to_bits().rotate_left(1))
+            ^ splitmix64(lead.a_lead.mps2().to_bits().rotate_left(2));
         let identical = self.radar.observe_fp(fp);
         let stuck = identical && self.radar.identical_streak >= self.cfg.stuck_after;
 

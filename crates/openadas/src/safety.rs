@@ -11,8 +11,9 @@
 //!   `accel ≤ 2.0 m/s²`, `brake ≥ −3.5 m/s²`, `|steer| ≤ 0.25°`, plus
 //!   `speed ≤ 1.1 × v_cruise`.
 
+use msgbus::schema::CarControl;
 use serde::{Deserialize, Serialize};
-use units::{Accel, Angle, Speed};
+use units::{limits, Accel, Angle, Speed};
 
 /// A set of actuator-output limits.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -28,13 +29,14 @@ pub struct SafetyLimits {
 }
 
 impl SafetyLimits {
-    /// OpenPilot's software output limits (Table III footnote 1).
+    /// OpenPilot's software output limits (Table III footnote 1), sourced
+    /// from the canonical [`units::limits`] module.
     pub fn software() -> Self {
         Self {
-            accel_max: Accel::from_mps2(2.4),
-            brake_min: Accel::from_mps2(-4.0),
-            steer_max: Angle::from_degrees(0.5),
-            overspeed_factor: 1.15,
+            accel_max: Accel::from_mps2(limits::SW_ACCEL_MAX_MPS2),
+            brake_min: Accel::from_mps2(limits::SW_BRAKE_MIN_MPS2),
+            steer_max: Angle::from_degrees(limits::SW_STEER_MAX_DEG),
+            overspeed_factor: limits::SW_OVERSPEED_FACTOR,
         }
     }
 
@@ -43,10 +45,10 @@ impl SafetyLimits {
     /// footnote 2 and Eq. 1).
     pub fn strict() -> Self {
         Self {
-            accel_max: Accel::from_mps2(2.0),
-            brake_min: Accel::from_mps2(-3.5),
-            steer_max: Angle::from_degrees(0.25),
-            overspeed_factor: 1.1,
+            accel_max: Accel::from_mps2(limits::STRICT_ACCEL_MAX_MPS2),
+            brake_min: Accel::from_mps2(limits::STRICT_BRAKE_MIN_MPS2),
+            steer_max: Angle::from_degrees(limits::STRICT_STEER_MAX_DEG),
+            overspeed_factor: limits::STRICT_OVERSPEED_FACTOR,
         }
     }
 
@@ -76,6 +78,30 @@ impl SafetyLimits {
     /// set-speed.
     pub fn speed_ok(&self, v: Speed, v_cruise: Speed) -> bool {
         v.mps() <= v_cruise.mps() * self.overspeed_factor
+    }
+}
+
+/// The final output envelope: clamps an assembled control command into the
+/// software limits immediately before it reaches the CAN encoder.
+///
+/// This is the stage adas-lint R9 anchors its proof on — the bounds are
+/// spelled as literals from the canonical [`units::limits`] module so the
+/// abstract interpreter can verify that everything flowing into
+/// `CommandEncoder::encode_into` lies inside the physical plant limits. On
+/// the nominal path the clamp is a no-op (the ACC command is already
+/// strict-clamped and the ALC command software-clamped), but it converts
+/// "every upstream stage behaved" from an assumption into a local
+/// invariant.
+pub fn envelope_clamp(control: CarControl) -> CarControl {
+    CarControl {
+        accel: control.accel.clamp(
+            Accel::from_mps2(limits::SW_BRAKE_MIN_MPS2),
+            Accel::from_mps2(limits::SW_ACCEL_MAX_MPS2),
+        ),
+        steer: control.steer.clamp(
+            Angle::from_degrees(-limits::SW_STEER_MAX_DEG),
+            Angle::from_degrees(limits::SW_STEER_MAX_DEG),
+        ),
     }
 }
 

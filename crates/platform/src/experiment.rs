@@ -63,17 +63,9 @@ impl CampaignConfig {
 
 /// Deterministic seed mixing (splitmix64) so campaigns are reproducible and
 /// paired campaigns (alert vs. inattentive driver) share world seeds.
-pub fn mix_seed(base: u64, parts: &[u64]) -> u64 {
-    let mut x = base;
-    for &p in parts {
-        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(p);
-        let mut z = x;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        x = z ^ (z >> 31);
-    }
-    x
-}
+/// Re-exported from the canonical [`units::mix`] implementation; the golden
+/// constants in `tests/trace.rs` pin that the hoist preserved every bit.
+pub use units::mix::mix_seed;
 
 /// One unit of work in a campaign.
 #[derive(Debug, Clone, Copy)]

@@ -30,8 +30,11 @@
 
 mod angle;
 mod clock;
+pub mod limits;
+pub mod mix;
 mod quantity;
 
 pub use angle::Angle;
 pub use clock::{SimClock, Tick, DT, SIM_DURATION, STEPS_PER_SIM};
+pub use mix::{mix_seed, splitmix64};
 pub use quantity::{Accel, Distance, Seconds, Speed};

@@ -1,0 +1,191 @@
+//! Canonical numeric safety limits — the single source of truth for every
+//! envelope, gate threshold and escalation constant in the workspace.
+//!
+//! The paper's safety argument is numeric: a strategic attack succeeds
+//! exactly when a corrupted value slips past a bound the stack assumed but
+//! never proved. Before this module existed, those bounds lived as literals
+//! scattered across `openadas/safety.rs`, `openadas/plausibility.rs`,
+//! `openadas/degradation.rs`, `defense/ids.rs` and `core/corruption.rs`,
+//! free to drift independently. Now each constant is declared once, here,
+//! and adas-lint's semantic layer (R9–R11) cross-checks them statically:
+//!
+//! * **R9** proves every actuator-bound value passes a clamp whose literal
+//!   bounds sit inside the [`PHYS_ACCEL_MAX_MPS2`]-family physical limits.
+//! * **R10** cross-checks thresholds against controller dynamics (e.g. the
+//!   plausibility gates' [`GATE_MAX_SPEED_JUMP_MPS`] must exceed the max
+//!   per-tick speed change the envelope itself allows, else the gate
+//!   rejects legitimate data).
+//! * **R11** flags clamps these constants make dead or inverted.
+//!
+//! All values are plain numerics (unit suffix in the name) so the linter's
+//! constant evaluator can read them as literals; the newtype wrappers are
+//! applied at the use site.
+
+/// Hard physical plant limit: max forward acceleration (m/s²) the virtual
+/// car's powertrain can produce. Any software envelope must sit inside it.
+pub const PHYS_ACCEL_MAX_MPS2: f64 = 5.0;
+
+/// Hard physical plant limit: max braking deceleration (m/s², negative) —
+/// roughly 1 g, the tyre friction ceiling.
+pub const PHYS_BRAKE_MIN_MPS2: f64 = -9.8;
+
+/// Hard physical plant limit: max steering-angle command magnitude
+/// (degrees) the EPS rack accepts at speed.
+pub const PHYS_STEER_MAX_DEG: f64 = 5.0;
+
+/// One control cycle in seconds. Must equal [`DT`](crate::DT)`.secs()`
+/// (asserted by a unit test); duplicated as a plain literal so the linter
+/// can fold `limit × TICK_SECONDS` products when cross-checking per-tick
+/// thresholds.
+pub const TICK_SECONDS: f64 = 0.01;
+
+/// ADAS software envelope (Table III footnote 1): max acceleration command
+/// (m/s²).
+pub const SW_ACCEL_MAX_MPS2: f64 = 2.4;
+
+/// ADAS software envelope: max braking command (m/s², negative).
+pub const SW_BRAKE_MIN_MPS2: f64 = -4.0;
+
+/// ADAS software envelope: max steering-angle command magnitude (degrees).
+pub const SW_STEER_MAX_DEG: f64 = 0.5;
+
+/// ADAS software envelope: overspeed tolerance as a factor of the cruise
+/// set-point.
+pub const SW_OVERSPEED_FACTOR: f64 = 1.15;
+
+/// Strict (firmware/Panda-shaped) envelope (Table III footnote 2): max
+/// acceleration command (m/s²).
+pub const STRICT_ACCEL_MAX_MPS2: f64 = 2.0;
+
+/// Strict envelope: max braking command (m/s², negative).
+pub const STRICT_BRAKE_MIN_MPS2: f64 = -3.5;
+
+/// Strict envelope: max steering-angle command magnitude (degrees).
+pub const STRICT_STEER_MAX_DEG: f64 = 0.25;
+
+/// Strict envelope: overspeed ceiling factor (the paper's Eq. 1).
+pub const STRICT_OVERSPEED_FACTOR: f64 = 1.1;
+
+/// Graceful-degradation ladder: gentle controlled-stop deceleration (m/s²)
+/// commanded in `DegradedAccOff`.
+pub const GENTLE_BRAKE_MPS2: f64 = -1.0;
+
+/// Graceful-degradation ladder: fail-safe controlled-stop deceleration
+/// (m/s²). Stronger than [`GENTLE_BRAKE_MPS2`], still well inside
+/// [`SW_BRAKE_MIN_MPS2`] so the stop itself never violates the envelope.
+pub const FAILSAFE_BRAKE_MPS2: f64 = -2.5;
+
+/// Ticks of continuous stream trouble before the ladder leaves `Nominal`.
+pub const DEGRADE_AFTER_TICKS: u32 = 25;
+
+/// Ticks of continuous stream trouble before the ladder enters `FailSafe`.
+pub const FAILSAFE_AFTER_TICKS: u32 = 150;
+
+/// Ticks of clean data required before the ladder steps back down
+/// (hysteresis).
+pub const RECOVERY_TICKS: u32 = 100;
+
+/// Max age, in ticks, of a sensor payload's sample timestamp before the
+/// stream counts as stale even though the message arrived this tick.
+pub const STALE_AFTER_TICKS: u64 = 5;
+
+/// Plausibility gates: normalized-innovation threshold in sigmas.
+pub const GATE_INNOVATION_SIGMA: f64 = 6.0;
+
+/// Plausibility gates: max ego-speed change per tick (m/s) between
+/// accepted readings. Must exceed the largest per-tick speed change the
+/// envelope allows the controller to command
+/// (`SW_ACCEL_MAX_MPS2 × TICK_SECONDS` — checked by adas-lint R10).
+pub const GATE_MAX_SPEED_JUMP_MPS: f64 = 1.0;
+
+/// Plausibility gates: max lead-distance change per tick (m).
+pub const GATE_MAX_DIST_JUMP_M: f64 = 4.0;
+
+/// Plausibility gates: max lead-speed change per tick (m/s).
+pub const GATE_MAX_LEAD_SPEED_JUMP_MPS: f64 = 3.0;
+
+/// Plausibility gates: max lane-offset change per tick (m), reduced modulo
+/// the lane width.
+pub const GATE_MAX_OFFSET_JUMP_M: f64 = 0.5;
+
+/// Plausibility gates: bit-identical consecutive readings before a stream
+/// is stuck.
+pub const GATE_STUCK_AFTER: u32 = 5;
+
+/// Plausibility gates: self-consistent ticks before a bound-violating
+/// stream re-anchors. Must stay below [`DEGRADE_AFTER_TICKS`] so a
+/// legitimate discontinuity is re-acquired before the ladder escalates
+/// (checked by adas-lint R10).
+pub const GATE_REACQUIRE_AFTER: u32 = 15;
+
+/// Plausibility gates: ego-speed reading (m/s) below which the stuck
+/// detector disarms.
+pub const GATE_MIN_MOVING_SPEED_MPS: f64 = 0.5;
+
+/// Plausibility gates: cap, in ticks, on the rejected-stream jump
+/// allowance growth.
+pub const GATE_ELAPSED_CAP: u32 = 10;
+
+/// CAN IDS: consecutive missing cycles before timing events accrue.
+pub const IDS_MISS_AFTER: u32 = 10;
+
+/// CAN IDS: leaky-score threshold for timing events.
+pub const IDS_TIMING_THRESHOLD: u32 = 10;
+
+/// CAN IDS: leaky-score threshold for rolling-counter discontinuities.
+pub const IDS_COUNTER_THRESHOLD: u32 = 5;
+
+/// CAN IDS: leaky-score threshold for checksum failures.
+pub const IDS_CHECKSUM_THRESHOLD: u32 = 4;
+
+#[cfg(test)]
+// Asserting on constants is the point here: these tests are the runtime
+// witnesses of the cross-constant orderings that adas-lint R10 proves
+// statically, and they must fail loudly if someone retunes a limit.
+#[allow(clippy::assertions_on_constants)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::float_cmp)] // literal-vs-literal identity checks
+    fn tick_seconds_matches_clock() {
+        assert_eq!(TICK_SECONDS, crate::DT.secs());
+    }
+
+    #[test]
+    fn envelopes_nest() {
+        // strict ⊆ software ⊆ physical — the same ordering R10 proves
+        // statically; this test is the runtime witness.
+        assert!(STRICT_ACCEL_MAX_MPS2 <= SW_ACCEL_MAX_MPS2);
+        assert!(SW_ACCEL_MAX_MPS2 <= PHYS_ACCEL_MAX_MPS2);
+        assert!(STRICT_BRAKE_MIN_MPS2 >= SW_BRAKE_MIN_MPS2);
+        assert!(SW_BRAKE_MIN_MPS2 >= PHYS_BRAKE_MIN_MPS2);
+        assert!(STRICT_STEER_MAX_DEG <= SW_STEER_MAX_DEG);
+        assert!(SW_STEER_MAX_DEG <= PHYS_STEER_MAX_DEG);
+        assert!(STRICT_OVERSPEED_FACTOR <= SW_OVERSPEED_FACTOR);
+    }
+
+    #[test]
+    fn gate_outruns_controller() {
+        // The gate's per-tick speed allowance must exceed what the envelope
+        // lets the controller command in one tick, else legitimate control
+        // authority gets rejected as implausible.
+        assert!(GATE_MAX_SPEED_JUMP_MPS > SW_ACCEL_MAX_MPS2 * TICK_SECONDS);
+        assert!(GATE_MAX_SPEED_JUMP_MPS > -SW_BRAKE_MIN_MPS2 * TICK_SECONDS);
+    }
+
+    #[test]
+    fn escalation_ordering() {
+        assert!(GATE_REACQUIRE_AFTER < DEGRADE_AFTER_TICKS);
+        assert!((STALE_AFTER_TICKS as u32) < DEGRADE_AFTER_TICKS);
+        assert!(DEGRADE_AFTER_TICKS < FAILSAFE_AFTER_TICKS);
+        assert!(IDS_MISS_AFTER + IDS_TIMING_THRESHOLD < DEGRADE_AFTER_TICKS);
+    }
+
+    #[test]
+    fn controlled_stops_inside_envelope() {
+        assert!(GENTLE_BRAKE_MPS2 < 0.0 && GENTLE_BRAKE_MPS2 >= SW_BRAKE_MIN_MPS2);
+        assert!(FAILSAFE_BRAKE_MPS2 < 0.0 && FAILSAFE_BRAKE_MPS2 >= SW_BRAKE_MIN_MPS2);
+        assert!(FAILSAFE_BRAKE_MPS2 < GENTLE_BRAKE_MPS2);
+    }
+}
