@@ -1,12 +1,15 @@
 //! Campaign throughput benchmark: sims/sec and ticks/sec, serial vs.
-//! parallel, written to `BENCH_throughput.json` at the repo root so the
-//! perf trajectory is tracked PR over PR.
+//! parallel vs. batched, written to `BENCH_throughput.json` at the repo
+//! root so the perf trajectory is tracked PR over PR.
 //!
 //! The workload is a scaled Context-Aware campaign (the paper's headline
 //! strategy) over all six attack types — the exact hot path the msgbus
 //! ring, the allocation-free tick loop and the batched campaign runner
-//! optimize. Serial runs through the single-worker fast path of
-//! `run_parallel_map_with`; parallel uses `REPRO_WORKERS` (or all cores).
+//! optimize. Serial runs through the single-worker fast path of the
+//! campaign runner; parallel fans out over the persistent worker pool
+//! (`REPRO_WORKERS` or all cores); batched steps every lane in lockstep
+//! through one single-threaded [`BatchHarness`], the per-core ceiling.
+//! All three passes must produce bit-identical results.
 //!
 //! Run with e.g. `REPRO_SCALE=20 cargo bench -p bench --bench throughput`.
 //! No wall-clock gating anywhere: the JSON records `cores` and `workers`
@@ -16,9 +19,9 @@
 use attack_core::StrategyKind;
 use bench::{scale_divisor, scaled_reps, write_artifact};
 use platform::experiment::{
-    plan_attack_campaign, run_parallel_with, CampaignConfig, RunnerConfig,
+    detected_cores, plan_attack_campaign, run_parallel_with, CampaignConfig, RunnerConfig, RunSpec,
 };
-use platform::SimResult;
+use platform::{BatchHarness, SimResult, TraceConfig};
 use units::STEPS_PER_SIM;
 
 /// One timed pass over the work list.
@@ -28,7 +31,7 @@ struct Pass {
     ticks_per_sec: f64,
 }
 
-fn timed(cfg: RunnerConfig, specs: &[platform::experiment::RunSpec]) -> (Pass, Vec<SimResult>) {
+fn timed(cfg: RunnerConfig, specs: &[RunSpec]) -> (Pass, Vec<SimResult>) {
     let t0 = std::time::Instant::now();
     let results = run_parallel_with(cfg, specs);
     let seconds = t0.elapsed().as_secs_f64().max(1e-9);
@@ -41,6 +44,32 @@ fn timed(cfg: RunnerConfig, specs: &[platform::experiment::RunSpec]) -> (Pass, V
             ticks_per_sec: ticks / seconds,
         },
         results,
+    )
+}
+
+/// One timed pass over the work list as a single SoA batch, including the
+/// batch build — the apples-to-apples counterpart of `timed`, which also
+/// constructs its harnesses inside the window.
+fn timed_batched(specs: &[RunSpec]) -> (Pass, Vec<SimResult>, usize, usize) {
+    let t0 = std::time::Instant::now();
+    let mut batch = BatchHarness::new();
+    for s in specs {
+        batch.push(s.harness_config(TraceConfig::disabled()));
+    }
+    let (fast, exact) = (batch.fast_lanes(), batch.exact_lanes());
+    let results = batch.run();
+    let seconds = t0.elapsed().as_secs_f64().max(1e-9);
+    let sims = specs.len() as f64;
+    let ticks = sims * STEPS_PER_SIM as f64;
+    (
+        Pass {
+            seconds,
+            sims_per_sec: sims / seconds,
+            ticks_per_sec: ticks / seconds,
+        },
+        results,
+        fast,
+        exact,
     )
 }
 
@@ -66,9 +95,7 @@ fn main() {
         scale_divisor()
     );
 
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let cores = detected_cores();
     let workers = RunnerConfig::default().worker_count(specs.len());
 
     let (serial, serial_results) = timed(RunnerConfig::with_workers(1), &specs);
@@ -82,16 +109,30 @@ fn main() {
         parallel.seconds, parallel.sims_per_sec, parallel.ticks_per_sec
     );
 
+    let (batched, batched_results, fast_lanes, exact_lanes) = timed_batched(&specs);
+    let batched_speedup = serial.seconds / batched.seconds;
+    println!(
+        "  batched:  {:.2}s  {:.1} sims/s  {:.0} ticks/s  ({fast_lanes} fast + {exact_lanes} exact lanes, 1 thread)",
+        batched.seconds, batched.sims_per_sec, batched.ticks_per_sec
+    );
+
     let speedup = serial.seconds / parallel.seconds;
-    let identical = serial_results == parallel_results;
-    println!("  speedup: {speedup:.2}x  results identical: {identical}");
-    assert!(identical, "parallel results must match serial bit for bit");
+    let identical = serial_results == parallel_results && serial_results == batched_results;
+    println!(
+        "  speedup: parallel {speedup:.2}x  batched {batched_speedup:.2}x  results identical: {identical}"
+    );
+    assert!(
+        identical,
+        "parallel and batched results must match serial bit for bit"
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"throughput\",\n  \"campaign\": \"context_aware_all_types\",\n  \
          \"scale_divisor\": {},\n  \"reps_per_cell\": {},\n  \"sims\": {},\n  \
          \"ticks_per_sim\": {},\n  \"cores\": {},\n  \"workers\": {},\n  \
-         \"serial\": {},\n  \"parallel\": {},\n  \"speedup\": {:.2},\n  \
+         \"serial\": {},\n  \"parallel\": {},\n  \"batched\": {},\n  \
+         \"speedup\": {:.2},\n  \"batched_speedup\": {:.2},\n  \
+         \"fast_lanes\": {},\n  \"exact_lanes\": {},\n  \
          \"results_identical\": {}\n}}\n",
         scale_divisor(),
         reps,
@@ -101,7 +142,11 @@ fn main() {
         workers,
         pass_json(&serial),
         pass_json(&parallel),
+        pass_json(&batched),
         speedup,
+        batched_speedup,
+        fast_lanes,
+        exact_lanes,
         identical
     );
 

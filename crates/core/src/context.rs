@@ -63,7 +63,15 @@ impl ContextInference {
     /// Drains fresh messages and refreshes the context. Call once per tick.
     pub fn update(&mut self, _tick: Tick) -> ContextState {
         let obs = self.taps.drain();
+        self.absorb(&obs)
+    }
 
+    /// Folds one tick's observations into the context — the bus-free core
+    /// of [`update`](Self::update). A batched lane that synthesizes its
+    /// [`Observations`](crate::Observations) directly (no pub/sub hop)
+    /// calls this instead; the math is the shared code path, so the two
+    /// entry points cannot drift apart.
+    pub fn absorb(&mut self, obs: &crate::Observations) -> ContextState {
         if let Some(gps) = obs.gps {
             self.state.v_ego = gps.speed;
         }

@@ -100,6 +100,31 @@ impl AttackEngine {
     /// whether — and with which values — to inject this cycle.
     pub fn observe(&mut self, tick: Tick) {
         let state = self.inference.update(tick);
+        self.decide(tick, state);
+    }
+
+    /// Whether the engine can never inject again at or after `tick`: the
+    /// driver halted it, the Context-Aware burst completed, or the random
+    /// window is wholly in the past. A dormant engine's observe/decide
+    /// cycle mutates nothing an inactive engine exposes, so hot loops may
+    /// skip [`observe`](Self::observe)/[`observe_with`](Self::observe_with)
+    /// entirely once this returns true.
+    pub fn dormant(&self, tick: Tick) -> bool {
+        self.scheduler.exhausted(tick)
+    }
+
+    /// Bus-free variant of [`observe`](Self::observe): the caller hands the
+    /// tick's eavesdropped samples directly instead of draining a
+    /// subscriber. Batched lanes use this — the harness publishes at most
+    /// one message per stream per tick, so newest-wins draining and a
+    /// direct feed see identical traffic.
+    pub fn observe_with(&mut self, tick: Tick, obs: &crate::Observations) {
+        let state = self.inference.absorb(obs);
+        self.decide(tick, state);
+    }
+
+    /// The schedule/corrupt decision shared by both observe entry points.
+    fn decide(&mut self, tick: Tick, state: ContextState) {
         self.policy.observe_speed(state.v_ego);
 
         // Per-action activity with match-or-hold semantics: the attack's

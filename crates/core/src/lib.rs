@@ -63,7 +63,7 @@ pub use attack_type::{AttackAction, AttackType, SteerDirection};
 pub use config::{AttackConfig, ValueMode};
 pub use context::{ContextInference, ContextState};
 pub use corruption::{AttackValues, CorruptionPolicy, SpeedPredictor};
-pub use eavesdrop::Eavesdropper;
+pub use eavesdrop::{Eavesdropper, Observations};
 pub use engine::AttackEngine;
 pub use injector::Injector;
 pub use rules::{ContextRule, ContextTable, PotentialHazard, RuleParams};

@@ -129,6 +129,29 @@ impl AttackScheduler {
         self.halted
     }
 
+    /// Whether the scheduler can never fire again at or after `tick`:
+    /// halted, a completed Context-Aware burst, or a random window wholly
+    /// in the past. Pure — [`Self::update`] mutates nothing once this is
+    /// true, so a caller may skip the whole observe/decide cycle without
+    /// affecting any observable behaviour.
+    pub fn exhausted(&self, tick: Tick) -> bool {
+        if self.halted {
+            return true;
+        }
+        match self.kind {
+            StrategyKind::RandomStDur | StrategyKind::RandomSt => match self.duration {
+                Some(dur) => tick >= self.random_start && tick.since(self.random_start) >= dur,
+                None => true, // fail-closed dormant forever
+            },
+            StrategyKind::RandomDur => match (self.started, self.duration) {
+                (None, _) => false,
+                (Some(start), Some(dur)) => tick.since(start) >= dur,
+                (Some(_), None) => true,
+            },
+            StrategyKind::ContextAware => self.completed,
+        }
+    }
+
     /// Returns whether the attack fires at `tick`, given whether the target
     /// context currently matches.
     pub fn update(&mut self, tick: Tick, context_active: bool) -> bool {
@@ -234,6 +257,30 @@ mod tests {
             "one burst per run: no re-arming after completion"
         );
         assert_eq!(s.started(), Some(Tick::new(1)));
+    }
+
+    #[test]
+    fn exhausted_matches_update_going_quiet_forever() {
+        // Random window: exhausted exactly once the window has passed.
+        let mut s = AttackScheduler::new(StrategyKind::RandomSt, 7);
+        let active = run_window(&mut s, 5000, false);
+        let last = *active.last().unwrap();
+        assert!(!s.exhausted(Tick::new(last)), "still firing");
+        assert!(s.exhausted(Tick::new(last + 1)), "window passed");
+        assert!(!s.exhausted(Tick::new(0)), "window still ahead");
+
+        // Context-Aware: exhausted only after the burst completes.
+        let mut s = AttackScheduler::new(StrategyKind::ContextAware, 1);
+        assert!(!s.exhausted(Tick::new(0)), "may still trigger");
+        assert!(s.update(Tick::new(1), true));
+        assert!(!s.exhausted(Tick::new(2)), "burst running");
+        assert!(!s.update(Tick::new(2), false));
+        assert!(s.exhausted(Tick::new(3)), "one burst per run");
+
+        // Halt is terminal for every strategy.
+        let mut s = AttackScheduler::new(StrategyKind::RandomDur, 3);
+        s.halt();
+        assert!(s.exhausted(Tick::new(0)));
     }
 
     #[test]

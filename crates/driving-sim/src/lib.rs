@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 mod collision;
 mod lead;
 mod neighbor;

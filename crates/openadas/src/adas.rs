@@ -2,7 +2,7 @@
 //! actuator CAN frames each 10 ms control cycle.
 
 use canbus::CanFrame;
-use msgbus::schema::{AlertKind, CarControl, ControlsState};
+use msgbus::schema::{AlertKind, CarControl, CarState, ControlsState, GpsLocation, LaneModel, RadarState};
 use msgbus::{Bus, Envelope, Payload, Subscriber, Topic};
 use units::{Accel, Speed, Tick};
 
@@ -178,14 +178,6 @@ impl Adas {
     /// same [`AdasOutput`] back every cycle pays for the buffers once and
     /// then runs the whole control loop without touching the heap.
     pub fn step_into(&mut self, tick: Tick, out: &mut AdasOutput) {
-        // An externally requested rung (CAN IDS alarm under an acting
-        // policy) lands before the watchdogs step, so this cycle's control
-        // authority already reflects it.
-        let forced_alert = self
-            .pending_force
-            .take()
-            .and_then(|target| self.degradation.force(target));
-
         // Latest-sample-wins, like a real 100 Hz control loop. Each stream
         // also feeds its staleness watchdog: a tick with no message at all
         // is a module-level outage, distinct from a message reporting "no
@@ -252,6 +244,64 @@ impl Adas {
         if !radar_updated {
             self.leads.coast();
         }
+        self.finish_cycle(tick, gps_fresh, cam_fresh, radar_fresh, Emit::Bus, out);
+    }
+
+    /// Bus-free control cycle for batched lanes: the caller hands this
+    /// tick's sensor samples directly (the harness publishes exactly one
+    /// message per stream per tick, so latest-sample-wins draining and a
+    /// direct feed see identical readings, all fresh) and the cycle skips
+    /// the pub/sub hop entirely. With `encode_frames` the actuator frames
+    /// are produced as usual (a man-in-the-middle wants real bytes);
+    /// without it the encoder's rolling counters still advance and the
+    /// returned [`DirectCycle::quantized`] carries the command the actuator
+    /// side would have decoded.
+    ///
+    /// Plausibility gates are bypassed — batched lanes only take this path
+    /// when no detectors are attached; a defended run steps the scalar way.
+    pub fn step_direct(
+        &mut self,
+        tick: Tick,
+        gps: &GpsLocation,
+        lane: &LaneModel,
+        radar: &RadarState,
+        encode_frames: bool,
+        out: &mut AdasOutput,
+    ) -> DirectCycle {
+        self.state.update(gps, self.last_control.steer);
+        self.lanes.update(lane);
+        self.leads.update(radar);
+        self.finish_cycle(
+            tick,
+            true,
+            true,
+            true,
+            Emit::Direct {
+                encode: encode_frames,
+            },
+            out,
+        )
+    }
+
+    /// Everything downstream of sensor ingestion — the control cycle shared
+    /// by [`step_into`](Self::step_into) and [`step_direct`](Self::step_direct),
+    /// so the two entry points cannot drift apart.
+    fn finish_cycle(
+        &mut self,
+        tick: Tick,
+        gps_fresh: bool,
+        cam_fresh: bool,
+        radar_fresh: bool,
+        emit: Emit,
+        out: &mut AdasOutput,
+    ) -> DirectCycle {
+        // An externally requested rung (CAN IDS alarm under an acting
+        // policy) lands before the watchdogs step, so this cycle's control
+        // authority already reflects it.
+        let forced_alert = self
+            .pending_force
+            .take()
+            .and_then(|target| self.degradation.force(target));
         let degradation_alert = self.degradation.step(gps_fresh, cam_fresh, radar_fresh);
         let degradation = self.degradation.state();
 
@@ -296,22 +346,44 @@ impl Adas {
             out.new_alerts.push(kind);
         }
 
-        // Publish the internal state the attacker can observe. Cloning an
-        // empty alert list is allocation-free, and alert ticks are rare.
-        self.bus.publish(tick, Payload::CarState(car));
-        self.bus.publish(tick, Payload::CarControl(control));
-        self.bus.publish(
-            tick,
-            Payload::ControlsState(ControlsState {
-                engaged,
-                alerts: out.new_alerts.clone(),
-            }),
-        );
-
-        // Fail safe: if a command somehow escapes its clamp, send no frames
-        // at all (actuators hold/coast) rather than panicking mid-drive.
-        if !engaged || self.encoder.encode_into(&control, &mut out.frames).is_err() {
-            out.frames.clear();
+        let mut quantized = None;
+        match emit {
+            Emit::Bus => {
+                // Publish the internal state the attacker can observe.
+                // Cloning an empty alert list is allocation-free, and alert
+                // ticks are rare.
+                self.bus.publish(tick, Payload::CarState(car));
+                self.bus.publish(tick, Payload::CarControl(control));
+                self.bus.publish(
+                    tick,
+                    Payload::ControlsState(ControlsState {
+                        engaged,
+                        alerts: out.new_alerts.clone(),
+                    }),
+                );
+                // Fail safe: if a command somehow escapes its clamp, send no
+                // frames at all (actuators hold/coast) rather than panicking
+                // mid-drive.
+                if !engaged || self.encoder.encode_into(&control, &mut out.frames).is_err() {
+                    out.frames.clear();
+                }
+            }
+            Emit::Direct { encode: true } => {
+                if !engaged || self.encoder.encode_into(&control, &mut out.frames).is_err() {
+                    out.frames.clear();
+                }
+            }
+            Emit::Direct { encode: false } => {
+                // No one on this lane inspects the wire this cycle: skip the
+                // frame bytes but keep counter parity and quantization, so
+                // the actuator sees bit-identical commands either way. An
+                // encode-path error maps to `None` — hold the last command,
+                // exactly what an empty frame batch decodes to.
+                out.frames.clear();
+                if engaged {
+                    quantized = self.encoder.quantize_cycle(&control).ok();
+                }
+            }
         }
 
         out.control = control;
@@ -319,7 +391,31 @@ impl Adas {
         out.acc = acc_out;
         out.alc = alc_out;
         out.degradation = degradation;
+        DirectCycle { car, quantized }
     }
+}
+
+/// Where one control cycle's outputs go: onto the bus and the wire (the
+/// scalar harness), or straight back to the caller (a batched lane).
+enum Emit {
+    /// Publish `carState`/`carControl`/`controlsState` and encode frames.
+    Bus,
+    /// Skip the bus; encode frames only when someone will inspect them.
+    Direct {
+        /// Whether to materialize actuator frames this cycle.
+        encode: bool,
+    },
+}
+
+/// What a bus-free control cycle produced beyond the [`AdasOutput`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DirectCycle {
+    /// The `carState` the cycle would have published (the attacker's tap).
+    pub car: CarState,
+    /// The command the actuator side would decode this cycle when frames
+    /// were skipped (`None`: hold the last command — disengaged, a real
+    /// frame batch was encoded instead, or the encode path errored).
+    pub quantized: Option<CarControl>,
 }
 
 #[cfg(test)]

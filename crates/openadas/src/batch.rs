@@ -1,0 +1,91 @@
+//! A structure-of-arrays column of ADAS instances for lockstep batching.
+//!
+//! Each lane is a full scalar [`Adas`] stepped through its bus-free
+//! [`Adas::step_direct`] entry point, so the control math per lane is the
+//! scalar code path, bit for bit. Batching is in the iteration order: one
+//! tight loop runs the whole control stage across every lane before the
+//! caller moves to the next stage, keeping the controller code and its
+//! state columns hot.
+
+use msgbus::schema::{GpsLocation, LaneModel, RadarState};
+use msgbus::Bus;
+use units::{Speed, Tick};
+
+use crate::{Adas, AdasOutput, DirectCycle};
+
+/// A column of per-lane ADAS instances with batched stepping.
+#[derive(Debug, Default)]
+pub struct AdasColumn {
+    lanes: Vec<Adas>,
+}
+
+impl AdasColumn {
+    /// An empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a lane engaged at the given cruise set-speed. The lane gets
+    /// a private idle bus — nothing publishes on it and the direct cycle
+    /// never drains it, so it costs nothing per tick.
+    pub fn push(&mut self, v_cruise: Speed) {
+        self.lanes.push(Adas::new(&Bus::new(), v_cruise));
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the column holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// One lane, for per-lane queries (FCW totals, gate rejections).
+    pub fn get(&self, lane: usize) -> Option<&Adas> {
+        self.lanes.get(lane)
+    }
+
+    /// Disengages one lane (its driver took over).
+    pub fn disengage(&mut self, lane: usize) {
+        if let Some(adas) = self.lanes.get_mut(lane) {
+            adas.disengage();
+        }
+    }
+
+    /// Runs the control stage across every live lane: each consumes its
+    /// sensor columns through [`Adas::step_direct`], writing its outputs
+    /// and [`DirectCycle`] back into the lane-indexed columns. Lanes with
+    /// `encode` set materialize real actuator frames (their traffic is
+    /// inspected in flight); the rest advance their rolling counters and
+    /// report the quantized command instead.
+    #[allow(clippy::too_many_arguments)] // lane-indexed SoA columns, one per stream
+    pub fn step_batch(
+        &mut self,
+        tick: Tick,
+        gps: &[GpsLocation],
+        lanes: &[LaneModel],
+        radars: &[RadarState],
+        encode: &[bool],
+        live: &[bool],
+        outs: &mut [AdasOutput],
+        cycles: &mut [DirectCycle],
+    ) {
+        let it = self
+            .lanes
+            .iter_mut()
+            .zip(gps)
+            .zip(lanes)
+            .zip(radars)
+            .zip(encode)
+            .zip(live)
+            .zip(outs)
+            .zip(cycles);
+        for (((((((adas, gps), lane), radar), encode), live), out), cycle) in it {
+            if *live {
+                *cycle = adas.step_direct(tick, gps, lane, radar, *encode, out);
+            }
+        }
+    }
+}

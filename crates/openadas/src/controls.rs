@@ -4,9 +4,37 @@
 //! the paper argues should host robust safety checks, because everything
 //! upstream can be bypassed by corrupting the frames here.
 
-use canbus::{decode_signal, CanError, CanFrame, Encoder, VirtualCarDbc};
+use canbus::{decode_signal, CanError, CanFrame, Encoder, Signal, VirtualCarDbc};
 use msgbus::schema::CarControl;
 use units::{Accel, Angle};
+
+/// Pre-resolved copies of the three command-value signals, so the 100 Hz
+/// quantize shortcut pays no per-tick name lookups. Only built when every
+/// signal resolves and the constant `*_REQ` companions are in range, which
+/// makes the fast path's skipped validations infallible by construction.
+#[derive(Debug, Clone, Copy)]
+struct CycleSignals {
+    steer: Signal,
+    gas: Signal,
+    brake: Signal,
+}
+
+impl CycleSignals {
+    fn resolve(dbc: &VirtualCarDbc) -> Option<Self> {
+        let req_ok = |sig: Option<&Signal>| sig.is_some_and(|s| s.phys_to_raw(1.0).is_ok());
+        if !req_ok(dbc.steering_control().signal("STEER_REQ"))
+            || !req_ok(dbc.gas_command().signal("GAS_REQ"))
+            || !req_ok(dbc.brake_command().signal("BRAKE_REQ"))
+        {
+            return None;
+        }
+        Some(Self {
+            steer: *dbc.steering_control().signal("STEER_ANGLE_CMD")?,
+            gas: *dbc.gas_command().signal("ACCEL_CMD")?,
+            brake: *dbc.brake_command().signal("BRAKE_CMD")?,
+        })
+    }
+}
 
 /// Encodes [`CarControl`] commands into gas/brake/steering CAN frames and
 /// decodes them back on the actuator side.
@@ -14,6 +42,7 @@ use units::{Accel, Angle};
 pub struct CommandEncoder {
     dbc: VirtualCarDbc,
     encoder: Encoder,
+    cycle_signals: Option<CycleSignals>,
 }
 
 impl Default for CommandEncoder {
@@ -25,9 +54,12 @@ impl Default for CommandEncoder {
 impl CommandEncoder {
     /// Creates an encoder over the virtual car's DBC.
     pub fn new() -> Self {
+        let dbc = VirtualCarDbc::new();
+        let cycle_signals = CycleSignals::resolve(&dbc);
         Self {
-            dbc: VirtualCarDbc::new(),
+            dbc,
             encoder: Encoder::new(),
+            cycle_signals,
         }
     }
 
@@ -81,6 +113,69 @@ impl CommandEncoder {
             &[("BRAKE_CMD", brake.mps2()), ("BRAKE_REQ", 1.0)],
         )?);
         Ok(())
+    }
+
+    /// Runs one control cycle's encode→decode round trip without touching
+    /// the wire: quantizes the command through the same per-signal DBC
+    /// scaling [`encode_into`](Self::encode_into) would apply and consumes
+    /// the same three rolling-counter draws, returning the [`CarControl`]
+    /// the actuator side would decode from an unmolested frame batch.
+    ///
+    /// The counter parity means a hot path may freely alternate between
+    /// real frames (ticks something inspects the bus) and this shortcut
+    /// (ticks nothing does) per cycle without the transmit counters
+    /// drifting from a frame-for-frame run.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`encode_into`](Self::encode_into)'s errors at the same
+    /// point in the sequence; on error the caller should hold its last
+    /// command, which is what the actuator side does when a cycle's frames
+    /// never arrive.
+    pub fn quantize_cycle(&mut self, control: &CarControl) -> Result<CarControl, CanError> {
+        let Some(sig) = self.cycle_signals else {
+            return self.quantize_cycle_by_name(control);
+        };
+        // Same value order and error points as `encode_into`: a message's
+        // out-of-range command aborts before that message's counter draw,
+        // after the preceding messages consumed theirs. The `*_REQ`
+        // companions were validated at construction and cannot fail.
+        let steer_raw = sig.steer.phys_to_raw(control.steer.degrees())?;
+        self.encoder.advance_counter(self.dbc.steering_control());
+        let gas_raw = sig.gas.phys_to_raw(control.accel.max(Accel::ZERO).mps2())?;
+        self.encoder.advance_counter(self.dbc.gas_command());
+        let brake_raw = sig.brake.phys_to_raw(control.accel.min(Accel::ZERO).mps2())?;
+        self.encoder.advance_counter(self.dbc.brake_command());
+        Ok(CarControl {
+            accel: Accel::from_mps2(sig.gas.raw_to_phys(gas_raw) + sig.brake.raw_to_phys(brake_raw)),
+            steer: Angle::from_degrees(sig.steer.raw_to_phys(steer_raw)),
+        })
+    }
+
+    /// Name-lookup fallback of [`quantize_cycle`](Self::quantize_cycle),
+    /// taken only if the DBC did not resolve at construction.
+    fn quantize_cycle_by_name(&mut self, control: &CarControl) -> Result<CarControl, CanError> {
+        let gas = control.accel.max(Accel::ZERO);
+        let brake = control.accel.min(Accel::ZERO);
+        let steer = self.encoder.quantize(
+            self.dbc.steering_control(),
+            &[
+                ("STEER_ANGLE_CMD", control.steer.degrees()),
+                ("STEER_REQ", 1.0),
+            ],
+        )?;
+        let gas = self.encoder.quantize(
+            self.dbc.gas_command(),
+            &[("ACCEL_CMD", gas.mps2()), ("GAS_REQ", 1.0)],
+        )?;
+        let brake = self.encoder.quantize(
+            self.dbc.brake_command(),
+            &[("BRAKE_CMD", brake.mps2()), ("BRAKE_REQ", 1.0)],
+        )?;
+        Ok(CarControl {
+            accel: Accel::from_mps2(gas + brake),
+            steer: Angle::from_degrees(steer),
+        })
     }
 
     /// Actuator-side decoding: folds a batch of delivered frames back into a
@@ -164,6 +259,22 @@ mod tests {
         let decoded = enc.decode_actuators(&frames, base);
         assert!((decoded.steer.degrees() - 0.1).abs() < 1e-9, "held last valid steer");
         assert!((decoded.accel.mps2() - 2.0).abs() < 0.002, "gas still applied");
+    }
+
+    #[test]
+    fn quantize_cycle_matches_wire_round_trip() {
+        let mut wire = CommandEncoder::new();
+        let mut short = CommandEncoder::new();
+        for i in 0..50 {
+            let c = control(-4.0 + 0.173 * i as f64, -2.0 + 0.083 * i as f64);
+            let frames = wire.encode(&c).unwrap();
+            let decoded = wire.decode_actuators(&frames, CarControl::default());
+            let quantized = short.quantize_cycle(&c).unwrap();
+            assert_eq!(decoded, quantized, "cycle {i}");
+        }
+        // Counters stayed in lockstep across 50 shortcut cycles.
+        let c = control(1.0, 0.1);
+        assert_eq!(wire.encode(&c).unwrap(), short.encode(&c).unwrap());
     }
 
     #[test]

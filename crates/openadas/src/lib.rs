@@ -28,6 +28,7 @@
 
 mod acc;
 mod adas;
+pub mod batch;
 mod aeb;
 mod alc;
 mod alerts;
@@ -43,7 +44,7 @@ mod state;
 
 pub use acc::{AccController, AccOutput};
 pub use aeb::{Aeb, AebConfig, AebState};
-pub use adas::{Adas, AdasOutput};
+pub use adas::{Adas, AdasOutput, DirectCycle};
 pub use alc::{AlcController, AlcOutput};
 pub use alerts::AlertManager;
 pub use controls::CommandEncoder;

@@ -29,7 +29,7 @@ use faultinj::{FaultKind, FaultSchedule, FaultSpec, FaultTarget};
 use serde::{Deserialize, Serialize};
 use units::Seconds;
 
-use crate::experiment::{mix_seed, run_parallel_map_with, RunnerConfig};
+use crate::experiment::{mix_seed, run_campaign_cells, RunnerConfig};
 use crate::resilience::{FAULT_DURATION, FAULT_START, INTENSITIES};
 use crate::{Harness, HarnessConfig, SimResult};
 
@@ -305,9 +305,11 @@ impl DefenseReport {
             .collect();
         format!(
             "{{\n  \"bench\": \"defense\",\n  \"base_seed\": {},\n  \
-\"reps_per_cell\": {},\n  \"total_runs\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+\"reps_per_cell\": {},\n  \"cores\": {},\n  \"total_runs\": {},\n  \
+\"cells\": [\n{}\n  ]\n}}\n",
             self.base_seed,
             self.reps,
+            crate::experiment::detected_cores(),
             self.total_runs,
             cells.join(",\n"),
         )
@@ -328,7 +330,7 @@ pub fn run_defense_campaign_with(
     cfg: &DefenseCampaignConfig,
 ) -> DefenseReport {
     let specs = plan_defense_campaign(cfg);
-    let results = run_parallel_map_with(runner, specs.len(), |i| specs[i].run());
+    let results = run_campaign_cells(runner, specs, DefenseSpec::run);
     let threats = threat_matrix();
     let per_cell = Scenario::matrix().len() * cfg.reps.max(1) as usize;
     let cells = results

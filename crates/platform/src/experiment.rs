@@ -160,10 +160,26 @@ pub fn plan_no_attack_campaign(reps: u32, base_seed: u64, driver: DriverConfig) 
 }
 
 /// Worker-pool configuration for the campaign runners.
+///
+/// # `REPRO_WORKERS`
+///
+/// With `workers: None`, the count resolves from the `REPRO_WORKERS`
+/// environment variable. The accepted values, in the one place they are
+/// defined:
+///
+/// * unset, empty, unparsable, or `0` — **auto**: every core
+///   `std::thread::available_parallelism()` reports;
+/// * `1` — serial on the calling thread (the reproducibility baseline);
+/// * `k ≥ 2` — exactly `k` participants, the caller plus `k - 1` pool
+///   workers.
+///
+/// The resolved count is always clamped to the job size, so small campaigns
+/// never spawn idle workers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunnerConfig {
     /// Worker thread count. `None` resolves from the `REPRO_WORKERS`
-    /// environment variable if set (and ≥ 1), else all available cores.
+    /// environment variable if set (and ≥ 1, `0` meaning auto), else all
+    /// available cores.
     pub workers: Option<usize>,
 }
 
@@ -196,12 +212,46 @@ impl RunnerConfig {
     }
 }
 
+/// The machine's core count as recorded in every `BENCH_*.json` header:
+/// what `std::thread::available_parallelism()` reports, `1` if unknown.
+/// Deliberately independent of the worker count actually used, so a
+/// report stays byte-identical across the parallel-vs-single-worker
+/// replay the benches assert.
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Fans a planned campaign's cells out over the persistent worker pool,
+/// preserving plan order: element `i` of the result is `run(&specs[i])`.
+///
+/// This is the one fan-out every campaign shares — the attack campaigns
+/// here, the fault matrix in [`crate::resilience`], and the policy ladder
+/// in [`crate::defense_campaign`] all pass their own spec type and a
+/// `.run()`-shaped closure. The spec vector is moved into an `Arc<[S]>` so
+/// the job satisfies the pool's `'static` bound (workers are detached
+/// persistent threads; see [`crate::pool`]) without cloning a single spec.
+pub fn run_campaign_cells<S, T, F>(cfg: RunnerConfig, specs: Vec<S>, run: F) -> Vec<T>
+where
+    S: Send + Sync + 'static,
+    T: Send + 'static,
+    F: Fn(&S) -> T + Send + Sync + 'static,
+{
+    let n = specs.len();
+    let specs: std::sync::Arc<[S]> = specs.into();
+    crate::pool::run_indexed(cfg.worker_count(n), n, move |i| run(&specs[i]))
+}
+
 /// Maps `f` over `0..n` in parallel, preserving order.
 ///
-/// This is the single work-stealing loop every campaign runner shares; the
-/// traced and untraced variants differ only in the closure they pass. The
-/// worker count comes from [`RunnerConfig::default`] (i.e. `REPRO_WORKERS`
-/// or all cores); use [`run_parallel_map_with`] to pin it.
+/// Unlike the campaign runners — which fan out over the persistent pool via
+/// [`run_campaign_cells`] — this is a *scoped* map: `f` may borrow from the
+/// calling stack frame, at the cost of spawning fresh threads per call. Use
+/// it for one-shot generic maps (the lint crate's analysis fan-out); use
+/// the pool for anything campaign-shaped. The worker count comes from
+/// [`RunnerConfig::default`] (i.e. `REPRO_WORKERS` or all cores); use
+/// [`run_parallel_map_with`] to pin it.
 pub fn run_parallel_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -266,14 +316,15 @@ where
         .collect()
 }
 
-/// Runs a work list in parallel across all cores, preserving order.
+/// Runs a work list on the persistent pool across all cores, preserving
+/// order.
 pub fn run_parallel(specs: &[RunSpec]) -> Vec<SimResult> {
-    run_parallel_map(specs.len(), |i| specs[i].run())
+    run_parallel_with(RunnerConfig::default(), specs)
 }
 
 /// [`run_parallel`] with an explicit [`RunnerConfig`].
 pub fn run_parallel_with(cfg: RunnerConfig, specs: &[RunSpec]) -> Vec<SimResult> {
-    run_parallel_map_with(cfg, specs.len(), |i| specs[i].run())
+    run_campaign_cells(cfg, specs.to_vec(), RunSpec::run)
 }
 
 /// Runs a work list in parallel with a flight recorder on every run,
@@ -286,7 +337,9 @@ pub fn run_parallel_traced(
     specs: &[RunSpec],
     trace: TraceConfig,
 ) -> (Vec<SimResult>, CampaignMetrics) {
-    let runs = run_parallel_map(specs.len(), |i| specs[i].run_traced(trace));
+    let runs = run_campaign_cells(RunnerConfig::default(), specs.to_vec(), move |s: &RunSpec| {
+        s.run_traced(trace)
+    });
     let mut campaign = CampaignMetrics::default();
     let mut results = Vec::with_capacity(runs.len());
     for (result, recorder) in runs {

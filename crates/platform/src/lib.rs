@@ -30,17 +30,20 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod defense_campaign;
 pub mod experiment;
 pub mod figures;
 mod harness;
 mod hazard;
 pub mod metrics;
+pub mod pool;
 pub mod report;
 pub mod resilience;
 pub mod tables;
 pub mod trace;
 
+pub use batch::BatchHarness;
 pub use defense::DefensePolicy;
 pub use harness::{Harness, HarnessConfig, SimResult};
 pub use hazard::{AccidentKind, HazardDetector, HazardKind, HazardParams};

@@ -19,7 +19,7 @@ use driving_sim::Scenario;
 use faultinj::{FaultKind, FaultSchedule, FaultSpec, FaultTarget};
 use serde::{Deserialize, Serialize};
 
-use crate::experiment::{mix_seed, run_parallel_map_with, RunnerConfig};
+use crate::experiment::{mix_seed, run_campaign_cells, RunnerConfig};
 use crate::{Harness, HarnessConfig, SimResult};
 
 /// Tick at which every campaign fault window opens (5 s into the run,
@@ -241,11 +241,12 @@ impl ResilienceReport {
             .collect();
         format!(
             "{{\n  \"bench\": \"resilience\",\n  \"base_seed\": {},\n  \
-\"reps_per_cell\": {},\n  \"defense_policy\": \"{}\",\n  \"fault_start_tick\": {},\n  \
-\"fault_duration_ticks\": {},\n  \
+\"reps_per_cell\": {},\n  \"cores\": {},\n  \"defense_policy\": \"{}\",\n  \
+\"fault_start_tick\": {},\n  \"fault_duration_ticks\": {},\n  \
 \"total_runs\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
             self.base_seed,
             self.reps,
+            crate::experiment::detected_cores(),
             self.defense.label(),
             FAULT_START,
             FAULT_DURATION,
@@ -261,7 +262,7 @@ pub fn run_resilience_campaign_with(
     cfg: &ResilienceConfig,
 ) -> ResilienceReport {
     let specs = plan_resilience_campaign(cfg);
-    let results = run_parallel_map_with(runner, specs.len(), |i| specs[i].run());
+    let results = run_campaign_cells(runner, specs, ResilienceSpec::run);
     let per_cell = Scenario::matrix().len() * cfg.reps.max(1) as usize;
     let cells = results
         .chunks(per_cell)

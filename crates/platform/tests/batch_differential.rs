@@ -1,0 +1,163 @@
+//! Differential property tests: the scalar [`Harness`] is the bit-exactness
+//! oracle for [`BatchHarness`] lanes.
+//!
+//! Two proptest blocks pin the two lane kinds separately, so coverage of
+//! both does not depend on what the RNG happens to draw:
+//!
+//! * **Fast** — attack-free or attacked, untraced, fault-free, no
+//!   detectors: the fused SoA path. The batch must route every such lane
+//!   fast and produce the scalar's [`SimResult`] bit for bit.
+//! * **Exact** — traced runs, fault schedules, attached detectors, Panda
+//!   checks: the scalar-wrapping path. Results *and* the full per-tick
+//!   trace columns (CSV) must match the standalone scalar run.
+//!
+//! Each case also shuffles several lanes into one batch, so lane-index
+//! bookkeeping (push order vs. internal fast/exact split) is exercised,
+//! not just single-lane round trips.
+
+use attack_core::{AttackConfig, AttackType, StrategyKind, ValueMode};
+use driver_model::DriverConfig;
+use driving_sim::Scenario;
+use faultinj::{FaultKind, FaultSchedule, FaultSpec, FaultTarget};
+use platform::trace::to_csv;
+use platform::{
+    BatchHarness, DefensePolicy, Harness, HarnessConfig, HazardParams, TraceConfig,
+};
+use proptest::prelude::*;
+
+fn base_config(scenario_i: usize, seed: u64, driver_alert: bool) -> HarnessConfig {
+    HarnessConfig {
+        scenario: Scenario::matrix()[scenario_i % Scenario::matrix().len()],
+        seed,
+        attack: None,
+        driver: if driver_alert {
+            DriverConfig::alert()
+        } else {
+            DriverConfig::inattentive()
+        },
+        panda_enabled: false,
+        defense: DefensePolicy::Off,
+        hazard_params: HazardParams::default(),
+        trace: TraceConfig::disabled(),
+        faults: FaultSchedule::empty(),
+    }
+}
+
+fn attack(type_i: usize, strat_i: usize, strategic: bool, seed: u64) -> AttackConfig {
+    AttackConfig {
+        attack_type: AttackType::ALL[type_i % AttackType::ALL.len()],
+        strategy: StrategyKind::ALL[strat_i % StrategyKind::ALL.len()],
+        value_mode: if strategic {
+            ValueMode::Strategic
+        } else {
+            ValueMode::Fixed
+        },
+        seed,
+        ..AttackConfig::default()
+    }
+}
+
+fn fault_schedule(kind_i: usize, intensity: f64, start: u64, duration: u64) -> FaultSchedule {
+    let spec = FaultSpec::window(
+        FaultKind::ALL[kind_i % FaultKind::ALL.len()],
+        FaultTarget::All,
+        start,
+        duration,
+    )
+    .with_intensity(intensity);
+    FaultSchedule::single(spec)
+}
+
+/// Runs every config through the scalar oracle and one shared batch,
+/// asserting bit-identical results and (where traced) trace columns.
+fn assert_batch_matches_scalar(configs: Vec<HarnessConfig>) {
+    let mut batch = BatchHarness::new();
+    for cfg in &configs {
+        batch.push(*cfg);
+    }
+    let batched = batch.run_traced();
+    assert_eq!(batched.len(), configs.len());
+    for (cfg, (result, recorder)) in configs.into_iter().zip(batched) {
+        let (oracle, oracle_rec) = Harness::new(cfg).run_traced();
+        assert_eq!(result, oracle, "SimResult must match the scalar oracle");
+        match (recorder, oracle_rec) {
+            (None, None) => {}
+            (Some(b), Some(o)) => {
+                assert_eq!(
+                    to_csv(b.ring().iter()),
+                    to_csv(o.ring().iter()),
+                    "trace columns must match the scalar oracle"
+                );
+            }
+            _ => panic!("recorder presence diverged from the oracle"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fast-path lanes: untraced, fault-free, undetected — attacked or
+    /// clean — must route onto the fused SoA path and still reproduce the
+    /// scalar oracle bit for bit.
+    #[test]
+    fn fast_lanes_match_the_scalar_oracle(
+        scenario_i in 0..12usize,
+        seed in any::<u64>(),
+        driver_alert in any::<bool>(),
+        atk in proptest::option::of((0..6usize, 0..4usize, any::<bool>(), any::<u64>())),
+        scenario_j in 0..12usize,
+        seed_b in any::<u64>(),
+    ) {
+        let mut a = base_config(scenario_i, seed, driver_alert);
+        a.attack = atk.map(|(t, s, v, sd)| attack(t, s, v, sd));
+        // A second clean lane in the same batch: lockstep stepping of one
+        // lane must never bleed into another.
+        let b = base_config(scenario_j, seed_b, !driver_alert);
+
+        let mut probe = BatchHarness::new();
+        probe.push(a);
+        probe.push(b);
+        prop_assert_eq!(probe.fast_lanes(), 2, "both lanes must take the fast path");
+
+        assert_batch_matches_scalar(vec![a, b]);
+    }
+
+    /// Exact-path lanes: tracing, fault windows and attached detectors
+    /// must wrap the scalar harness — results and per-tick trace columns
+    /// identical to a standalone scalar run, even mixed into one batch
+    /// with a fast lane.
+    #[test]
+    fn exact_lanes_match_the_scalar_oracle_with_traces(
+        scenario_i in 0..12usize,
+        seed in any::<u64>(),
+        atk in proptest::option::of((0..6usize, 0..4usize, any::<bool>(), any::<u64>())),
+        kind_i in 0..9usize,
+        intensity in 0.05..1.0f64,
+        start in 100..1000u64,
+        duration in 100..2000u64,
+        traced in any::<bool>(),
+        observed in any::<bool>(),
+    ) {
+        let mut exact = base_config(scenario_i, seed, true);
+        exact.attack = atk.map(|(t, s, v, sd)| attack(t, s, v, sd));
+        exact.faults = fault_schedule(kind_i, intensity, start, duration);
+        if traced {
+            exact.trace = TraceConfig::enabled(256);
+        }
+        if observed {
+            exact.defense = DefensePolicy::Observe;
+        }
+        // A fast lane sharing the batch: the fast/exact split must keep
+        // push order intact.
+        let fast = base_config(scenario_i + 1, seed ^ 0x9E37_79B9, true);
+
+        let mut probe = BatchHarness::new();
+        probe.push(exact);
+        probe.push(fast);
+        prop_assert_eq!(probe.exact_lanes(), 1, "faulted lane must take the exact path");
+        prop_assert_eq!(probe.fast_lanes(), 1);
+
+        assert_batch_matches_scalar(vec![exact, fast]);
+    }
+}
