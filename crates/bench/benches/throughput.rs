@@ -54,7 +54,7 @@ fn timed_batched(specs: &[RunSpec]) -> (Pass, Vec<SimResult>, usize, usize) {
     let t0 = std::time::Instant::now();
     let mut batch = BatchHarness::new();
     for s in specs {
-        batch.push(s.harness_config(TraceConfig::disabled()));
+        batch.admit(s.harness_config(TraceConfig::disabled()));
     }
     let (fast, exact) = (batch.fast_lanes(), batch.exact_lanes());
     let results = batch.run();

@@ -20,7 +20,7 @@ pub enum CanError {
     /// A signal name was not found in the message spec.
     UnknownSignal {
         /// The requested signal name.
-        name: String,
+        name: &'static str,
     },
     /// The frame id does not match the message spec used to decode it.
     IdMismatch {
@@ -39,7 +39,7 @@ pub enum CanError {
     /// A physical value does not fit in its signal's raw range.
     ValueOutOfRange {
         /// The signal being encoded.
-        signal: String,
+        signal: &'static str,
         /// The physical value requested.
         value: f64,
     },

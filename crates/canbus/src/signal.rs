@@ -82,7 +82,7 @@ impl Signal {
         let raw = ((value - self.offset) / self.factor).round();
         if !raw.is_finite() || raw < self.raw_min() as f64 || raw > self.raw_max() as f64 {
             return Err(CanError::ValueOutOfRange {
-                signal: self.name.to_owned(),
+                signal: self.name,
                 value,
             });
         }
@@ -210,10 +210,9 @@ impl MessageSpec {
     /// # Errors
     ///
     /// Returns [`CanError::UnknownSignal`] if no signal has that name.
-    pub fn require_signal(&self, name: &str) -> Result<&Signal, CanError> {
-        self.signal(name).ok_or_else(|| CanError::UnknownSignal {
-            name: name.to_owned(),
-        })
+    pub fn require_signal(&self, name: &'static str) -> Result<&Signal, CanError> {
+        self.signal(name)
+            .ok_or(CanError::UnknownSignal { name })
     }
 }
 

@@ -25,8 +25,10 @@ impl WorldColumn {
         Self::default()
     }
 
-    /// Appends a lane's world.
-    pub fn push(&mut self, scenario: Scenario, seed: u64) {
+    /// Appends a lane's world. (Named `admit`, not `push`: workspace
+    /// convention reserves std container method names for std semantics so
+    /// the lint's name-based call graph stays precise.)
+    pub fn admit(&mut self, scenario: Scenario, seed: u64) {
         self.worlds.push(World::new(scenario, seed));
     }
 
@@ -82,7 +84,7 @@ impl SensorColumn {
     }
 
     /// Appends a lane's sensor suite, seeded like the scalar harness.
-    pub fn push(&mut self, seed: u64) {
+    pub fn admit(&mut self, seed: u64) {
         self.suites.push(SensorSuite::new(seed));
     }
 

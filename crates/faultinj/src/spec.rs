@@ -205,13 +205,13 @@ impl FaultSchedule {
     /// A schedule holding exactly one fault.
     pub fn single(spec: FaultSpec) -> Self {
         let mut s = Self::default();
-        let _ = s.push(spec);
+        let _ = s.add(spec);
         s
     }
 
     /// Adds a spec; returns `false` (schedule unchanged) when all
     /// [`MAX_FAULTS`] slots are occupied.
-    pub fn push(&mut self, spec: FaultSpec) -> bool {
+    pub fn add(&mut self, spec: FaultSpec) -> bool {
         for slot in self.slots.iter_mut() {
             if slot.is_none() {
                 *slot = Some(spec);
@@ -280,9 +280,9 @@ mod tests {
         assert!(s.is_empty());
         let spec = FaultSpec::window(FaultKind::CanBusOff, FaultTarget::All, 0, 10);
         for _ in 0..MAX_FAULTS {
-            assert!(s.push(spec));
+            assert!(s.add(spec));
         }
-        assert!(!s.push(spec), "ninth spec is rejected");
+        assert!(!s.add(spec), "ninth spec is rejected");
         assert_eq!(s.len(), MAX_FAULTS);
         assert_eq!(s.last_end(), Some(10));
     }

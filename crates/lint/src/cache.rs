@@ -15,7 +15,7 @@
 //! scan's *result*, only its wall-time.
 
 use crate::diag::{Diagnostic, Rule, Severity};
-use crate::parser::{Call, Callee, FnDef, PanicSite};
+use crate::parser::{Call, Callee, FnDef, LockEvent, LockOp, PanicSite};
 use std::path::{Path, PathBuf};
 
 /// Bumped whenever the cached shape or any rule logic that feeds it
@@ -23,18 +23,40 @@ use std::path::{Path, PathBuf};
 /// comments no longer parse as suppression sites. v3: entries are keyed by
 /// [`scan_key`] — content hash mixed with the scan-configuration
 /// fingerprint — so a cache written under one rule set is never served to
-/// a scan running a different one.)
-pub const FORMAT_VERSION: u32 = 3;
+/// a scan running a different one. v4: fn entries carry macro and
+/// lock-event facts for the concurrency/alloc layer, R12–R14.)
+pub const FORMAT_VERSION: u32 = 4;
+
+/// Flattened R12–R14 rule tables, folded into the config fingerprint:
+/// editing a lock-boundary, merge-sink, or allocating-API table must
+/// invalidate the warm cache exactly as toggling a rule does, or a table
+/// edit would be served stale verdicts until the next unrelated content
+/// change.
+fn concurrency_tables() -> String {
+    let mut parts: Vec<String> = Vec::new();
+    parts.extend(crate::locks::BOUNDARY_FNS.iter().map(|s| s.to_string()));
+    parts.extend(crate::locks::MERGE_SINKS.iter().map(|s| s.to_string()));
+    parts.extend(crate::allocpath::R13_ROOTS.iter().map(|s| s.to_string()));
+    parts.extend(crate::allocpath::ALLOC_METHODS.iter().map(|s| s.to_string()));
+    parts.extend(
+        crate::allocpath::ALLOC_PATHS
+            .iter()
+            .map(|(t, m)| format!("{t}::{m}")),
+    );
+    parts.extend(crate::allocpath::ALLOC_MACROS.iter().map(|s| s.to_string()));
+    parts.extend(crate::allocpath::AMORTIZED_FNS.iter().map(|s| s.to_string()));
+    parts.join("|")
+}
 
 /// Fingerprint of everything *besides* file content that determines a
-/// per-file analysis: the cache format version and the active rule set.
-/// Rule ids are sorted and deduplicated so spelling order on the command
-/// line cannot split the cache.
+/// per-file analysis: the cache format version, the active rule set, and
+/// the R12–R14 rule tables. Rule ids are sorted and deduplicated so
+/// spelling order on the command line cannot split the cache.
 pub fn config_fingerprint(rules: &[Rule]) -> u64 {
     let mut ids: Vec<&str> = rules.iter().map(|r| r.id()).collect();
     ids.sort_unstable();
     ids.dedup();
-    content_hash(format!("v{FORMAT_VERSION};{}", ids.join(",")).as_bytes())
+    content_hash(format!("v{FORMAT_VERSION};{};{}", ids.join(","), concurrency_tables()).as_bytes())
 }
 
 /// The key a cache entry is stored and looked up under. Mixing (rather
@@ -61,8 +83,9 @@ pub struct FileAnalysis {
     pub raw_diags: Vec<Diagnostic>,
     /// Inline suppression sites.
     pub suppressions: Vec<SuppressionSite>,
-    /// Function definitions with call/panic facts (`fields`/`macros`
-    /// dropped — nothing downstream needs them).
+    /// Function definitions with call/panic/macro/lock facts (`fields`
+    /// dropped — nothing downstream needs them; macros and lock events
+    /// survive because the workspace concurrency layer consumes them).
     pub fns: Vec<FnDef>,
     /// Enum names declared in the file.
     pub enums: Vec<String>,
@@ -169,6 +192,29 @@ pub fn serialize(rel: &str, hash: u64, a: &FileAnalysis) -> String {
         for p in &f.panics {
             out.push_str(&format!("panic\t{}\t{}\n", p.line, esc(&p.what)));
         }
+        for (line, name) in &f.macros {
+            out.push_str(&format!("macro\t{line}\t{}\n", esc(name)));
+        }
+        for l in &f.locks {
+            let op = match l.op {
+                LockOp::Acquire => "A",
+                LockOp::CondWait => "W",
+                LockOp::GuardedCall => "C",
+            };
+            // Held names are identifiers, so a comma-joined list is
+            // unambiguous; `-` marks the empty set.
+            let held = if l.held.is_empty() {
+                "-".to_string()
+            } else {
+                l.held.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            };
+            let flags = u8::from(l.expect) | (u8::from(l.in_loop) << 1) | (u8::from(l.method) << 2);
+            out.push_str(&format!(
+                "lockev\t{}\t{op}\t{}\t{held}\t{flags}\n",
+                l.line,
+                esc(&l.what)
+            ));
+        }
     }
     for e in &a.enums {
         out.push_str(&format!("enum\t{}\n", esc(e)));
@@ -254,6 +300,7 @@ pub fn deserialize(text: &str, rel: &str, hash: u64) -> Option<FileAnalysis> {
                     panics: Vec::new(),
                     fields: Vec::new(),
                     macros: Vec::new(),
+                    locks: Vec::new(),
                 });
             }
             "call" => {
@@ -278,6 +325,37 @@ pub fn deserialize(text: &str, rel: &str, hash: u64) -> Option<FileAnalysis> {
                 a.fns.last_mut()?.panics.push(PanicSite {
                     line: line_no,
                     what,
+                });
+            }
+            "macro" => {
+                let line_no: usize = parts.next()?.parse().ok()?;
+                let name = unesc(parts.next()?);
+                a.fns.last_mut()?.macros.push((line_no, name));
+            }
+            "lockev" => {
+                let line_no: usize = parts.next()?.parse().ok()?;
+                let op = match parts.next()? {
+                    "A" => LockOp::Acquire,
+                    "W" => LockOp::CondWait,
+                    "C" => LockOp::GuardedCall,
+                    _ => return None,
+                };
+                let what = unesc(parts.next()?);
+                let held_spec = parts.next()?;
+                let held = if held_spec == "-" {
+                    Vec::new()
+                } else {
+                    held_spec.split(',').map(unesc).collect()
+                };
+                let flags: u8 = parts.next()?.parse().ok()?;
+                a.fns.last_mut()?.locks.push(LockEvent {
+                    line: line_no,
+                    op,
+                    what,
+                    held,
+                    expect: flags & 1 != 0,
+                    in_loop: flags & 2 != 0,
+                    method: flags & 4 != 0,
                 });
             }
             "enum" => {
@@ -351,7 +429,36 @@ mod tests {
                     what: ".expect()".into(),
                 }],
                 fields: Vec::new(),
-                macros: Vec::new(),
+                macros: vec![(14, "format".into())],
+                locks: vec![
+                    LockEvent {
+                        line: 15,
+                        op: LockOp::Acquire,
+                        what: "queues".into(),
+                        held: Vec::new(),
+                        expect: true,
+                        in_loop: false,
+                        method: true,
+                    },
+                    LockEvent {
+                        line: 16,
+                        op: LockOp::GuardedCall,
+                        what: "steal".into(),
+                        held: vec!["queues".into(), "state".into()],
+                        expect: false,
+                        in_loop: false,
+                        method: true,
+                    },
+                    LockEvent {
+                        line: 17,
+                        op: LockOp::CondWait,
+                        what: "done_cv".into(),
+                        held: vec!["done".into()],
+                        expect: false,
+                        in_loop: true,
+                        method: true,
+                    },
+                ],
             }],
             enums: vec!["AttackType".into()],
         }
@@ -370,6 +477,16 @@ mod tests {
         assert_eq!(b.fns[0].qual, "Harness::step");
         assert_eq!(b.fns[0].calls.len(), 2);
         assert_eq!(b.fns[0].panics[0].what, ".expect()");
+        assert_eq!(b.fns[0].macros, vec![(14, "format".to_string())]);
+        assert_eq!(b.fns[0].locks.len(), 3);
+        assert_eq!(b.fns[0].locks[0].op, LockOp::Acquire);
+        assert!(b.fns[0].locks[0].expect);
+        assert_eq!(
+            b.fns[0].locks[1].held,
+            vec!["queues".to_string(), "state".to_string()]
+        );
+        assert_eq!(b.fns[0].locks[2].op, LockOp::CondWait);
+        assert!(b.fns[0].locks[2].in_loop);
         assert_eq!(b.enums, vec!["AttackType".to_string()]);
     }
 

@@ -1,8 +1,9 @@
 //! The cross-file call graph and R7: transitive panic freedom.
 //!
 //! R2 proves "no panic *token* in this file" for the safety-path crates;
-//! R7 upgrades that to "no call *path* from [`Harness::step`] reaches a
-//! panicking function", whatever crate the function lives in. The graph is
+//! R7 upgrades that to "no call *path* from a steady-state root
+//! ([`R7_ROOTS`]: the scalar tick, the batched tick, the pool worker loop)
+//! reaches a panicking function", whatever crate the function lives in. The graph is
 //! name-based and crate-closure-filtered (see [`crate::symbols`]), which
 //! over-approximates reachability: a reported chain might not be
 //! executable, but an *absent* chain is a real guarantee, which is the
@@ -16,10 +17,10 @@ use crate::scope::FileInfo;
 use crate::symbols::SymbolTable;
 use std::collections::{HashMap, VecDeque};
 
-/// The fully-qualified root the R7 walk starts from: one simulated tick of
-/// the closed loop. Everything the harness can execute per tick hangs off
-/// this method.
-pub const R7_ROOT: &str = "Harness::step";
+/// The fully-qualified roots the R7 walk starts from: one scalar tick of
+/// the closed loop, one batched tick, and the campaign pool's worker loop.
+/// Everything the steady state can execute hangs off these three.
+pub const R7_ROOTS: [&str; 3] = ["Harness::step", "BatchHarness::step", "spawn_worker"];
 
 /// A call graph over symbol ids.
 #[derive(Debug, Default)]
@@ -130,13 +131,13 @@ impl CallGraph {
     }
 }
 
-/// R7: every panic primitive inside a function reachable from
-/// [`R7_ROOT`] is a finding, reported with the full call chain.
+/// R7: every panic primitive inside a function reachable from one of
+/// [`R7_ROOTS`] is a finding, reported with the full call chain.
 pub fn r7_transitive_panic_freedom(table: &SymbolTable, graph: &CallGraph) -> Vec<Diagnostic> {
     let roots: Vec<usize> = table
         .symbols
         .iter()
-        .filter(|s| s.qual == R7_ROOT && !s.is_test)
+        .filter(|s| R7_ROOTS.contains(&s.qual.as_str()) && !s.is_test)
         .map(|s| s.id)
         .collect();
     let mut out = Vec::new();
@@ -162,9 +163,10 @@ pub fn r7_transitive_panic_freedom(table: &SymbolTable, graph: &CallGraph) -> Ve
                 line: p.line,
                 snippet: format!("{} in {}", p.what, sym.qual),
                 message: format!(
-                    "`{}` panics and is reachable from the per-tick control loop; \
-                     call chain: {chain}. Degrade (fail-closed) instead of dying, \
-                     or allow with a reason proving the invariant",
+                    "`{}` panics and is reachable from a steady-state root \
+                     (tick loop or pool worker); call chain: {chain}. Degrade \
+                     (fail-closed) instead of dying, or allow with a reason \
+                     proving the invariant",
                     p.what
                 ),
             });

@@ -44,10 +44,25 @@ pub enum Rule {
     /// R11 — clamp hygiene: no provably-dead clamps, no inverted clamp
     /// bounds, and no possibly-NaN value on a path to actuation.
     ClampHygiene,
+    /// R12 — lock discipline: the lock-order graph built from every
+    /// `Mutex`/`Condvar` acquisition site reached via the call graph must
+    /// be acyclic; no lock may be held across a pool submit/wait boundary;
+    /// `Condvar::wait` only inside a predicate loop; every
+    /// `.lock().expect(...)` covered by a documented poisoning policy.
+    LockDiscipline,
+    /// R13 — hot-path allocation freedom: no call path from the
+    /// steady-state tick roots (`Harness::step`, `BatchHarness::step`)
+    /// reaches an allocating std API, except provably-amortized
+    /// buffer-reuse sites (`drain_into`-style).
+    AllocFreedom,
+    /// R14 — shared-state determinism: no shared mutable statics, no
+    /// `OnceLock` initializers that read the environment, and campaign
+    /// results merged by index, never by completion order.
+    SharedStateDeterminism,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 11] = [
+pub const ALL_RULES: [Rule; 14] = [
     Rule::UnitSafety,
     Rule::PanicFreedom,
     Rule::ActuatorContainment,
@@ -59,6 +74,9 @@ pub const ALL_RULES: [Rule; 11] = [
     Rule::EnvelopeSoundness,
     Rule::ThresholdConsistency,
     Rule::ClampHygiene,
+    Rule::LockDiscipline,
+    Rule::AllocFreedom,
+    Rule::SharedStateDeterminism,
 ];
 
 impl Rule {
@@ -76,6 +94,9 @@ impl Rule {
             Rule::EnvelopeSoundness => "R9",
             Rule::ThresholdConsistency => "R10",
             Rule::ClampHygiene => "R11",
+            Rule::LockDiscipline => "R12",
+            Rule::AllocFreedom => "R13",
+            Rule::SharedStateDeterminism => "R14",
         }
     }
 
@@ -93,6 +114,9 @@ impl Rule {
             Rule::EnvelopeSoundness => "envelope-soundness",
             Rule::ThresholdConsistency => "threshold-consistency",
             Rule::ClampHygiene => "clamp-hygiene",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::AllocFreedom => "alloc-freedom",
+            Rule::SharedStateDeterminism => "shared-state-determinism",
         }
     }
 
@@ -131,6 +155,15 @@ impl Rule {
             }
             Rule::ClampHygiene => {
                 "no dead clamps, inverted clamp bounds, or possible-NaN on actuation paths"
+            }
+            Rule::LockDiscipline => {
+                "acyclic lock order, no locks across pool submit/wait, Condvar::wait in predicate loops, documented poisoning policy"
+            }
+            Rule::AllocFreedom => {
+                "no call path from the steady-state tick roots reaches an allocating std API"
+            }
+            Rule::SharedStateDeterminism => {
+                "no mutable statics, env-reading OnceLock initializers, or completion-order campaign merges"
             }
         }
     }
@@ -247,7 +280,7 @@ mod tests {
             assert_eq!(Rule::parse(r.name()), Some(r));
             assert_eq!(Rule::parse(&r.id().to_lowercase()), Some(r));
         }
-        assert_eq!(Rule::parse("R12"), None);
+        assert_eq!(Rule::parse("R15"), None);
     }
 
     #[test]

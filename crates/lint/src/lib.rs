@@ -4,7 +4,7 @@
 //! ADAS attacks succeed precisely by keeping corrupted values *inside* the
 //! safety-check envelope, so the reproduction's own safety layer, unit
 //! handling, and determinism guarantees are machine-checked rather than
-//! convention-checked. Eleven rules run over every workspace `.rs` file:
+//! convention-checked. Fourteen rules run over every workspace `.rs` file:
 //!
 //! | Rule | Name                  | Invariant                                            |
 //! |------|-----------------------|------------------------------------------------------|
@@ -22,14 +22,22 @@
 //! | R10  | `threshold-consistency`| gate/IDS/escalation constants mutually consistent,  |
 //! |      |                       | config constructors reproduce them bit-for-bit       |
 //! | R11  | `clamp-hygiene`       | no inverted/dead clamps, no NaN reaching actuation   |
+//! | R12  | `lock-discipline`     | acyclic lock order, no guards across pool boundaries,|
+//! |      |                       | condvar waits in predicate loops, poisoning policy   |
+//! | R13  | `alloc-freedom`       | steady-state tick roots reach no allocating std API  |
+//! | R14  | `shared-state-determinism` | no `static mut`, no env-latching `OnceLock`,    |
+//! |      |                       | campaign merges by index, never completion order     |
 //!
-//! R1–R5 and R8 are per-file; R6/R7 are whole-workspace analyses over a
-//! parsed symbol table and cross-file call graph ([`parser`], [`symbols`],
-//! [`callgraph`], [`taint`]); R9–R11 are the semantic layer — interval
+//! The analysis is layered: the **lexical** layer (R1–R5, R8) runs over
+//! masked lines; the **taint/callgraph** layer (R6/R7) over a parsed
+//! symbol table and cross-file call graph ([`parser`], [`symbols`],
+//! [`callgraph`], [`taint`]); the **numeric** layer (R9–R11) does interval
 //! abstract interpretation over a lowered IR ([`ir`], [`interval`],
-//! [`absint`]). Per-file work is cached, keyed by content hash mixed with
-//! the scan-configuration fingerprint ([`cache`]), and fanned out across
-//! cores, so warm runs are sub-second.
+//! [`absint`]); and the **concurrency/alloc** layer (R12–R14) builds a
+//! lock-order graph and a may-allocate closure over the same call graph
+//! ([`locks`], [`allocpath`]). Per-file work is cached, keyed by content
+//! hash mixed with the scan-configuration fingerprint ([`cache`]), and
+//! fanned out across cores, so warm runs are sub-second.
 //!
 //! Findings can be acknowledged two ways: an inline
 //! `// adas-lint: allow(<rule>, reason = "…")` comment for sites that are
@@ -43,12 +51,14 @@
 #![deny(clippy::float_cmp)]
 
 pub mod absint;
+pub mod allocpath;
 pub mod baseline;
 pub mod cache;
 pub mod callgraph;
 pub mod diag;
 pub mod interval;
 pub mod ir;
+pub mod locks;
 pub mod parser;
 pub mod rules;
 pub mod sarif;
@@ -111,6 +121,15 @@ impl ScanOptions {
             )
         })
     }
+
+    fn concurrency_active(&self) -> bool {
+        self.rules.iter().any(|r| {
+            matches!(
+                r,
+                Rule::LockDiscipline | Rule::AllocFreedom | Rule::SharedStateDeterminism
+            )
+        })
+    }
 }
 
 /// Result of a workspace scan.
@@ -130,6 +149,9 @@ pub struct ScanReport {
     pub unused_baseline: Vec<BaselineEntry>,
     /// Inline suppressions that absorbed nothing (dead), as warnings.
     pub dead_suppressions: Vec<Diagnostic>,
+    /// GraphViz rendering of the R12 lock-order graph (empty when the
+    /// concurrency layer did not run).
+    pub lock_order_dot: String,
 }
 
 impl ScanReport {
@@ -188,6 +210,9 @@ pub fn scan_sources(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
     let mut ws = taint::r6_taint_flow(&table, &graph);
     ws.extend(callgraph::r7_transitive_panic_freedom(&table, &graph));
     ws.extend(absint::semantic_rules(&semfiles));
+    let (conc, _lock_graph) = locks::concurrency_rules(&parsed, &table, &graph);
+    ws.extend(conc);
+    ws.extend(allocpath::r13_alloc_freedom(&parsed, &table, &graph));
     for d in ws {
         let suppressed = parsed
             .iter()
@@ -329,6 +354,12 @@ pub fn scan_workspace_with(
     workspace_diags.extend(callgraph::r7_transitive_panic_freedom(&table, &graph));
     if sem_active {
         workspace_diags.extend(absint::semantic_rules(&semfiles));
+    }
+    if opts.concurrency_active() {
+        let (conc, lock_graph) = locks::concurrency_rules(&files, &table, &graph);
+        workspace_diags.extend(conc);
+        workspace_diags.extend(allocpath::r13_alloc_freedom(&files, &table, &graph));
+        report.lock_order_dot = lock_graph.to_dot();
     }
     workspace_diags.retain(|d| opts.rules.contains(&d.rule));
 

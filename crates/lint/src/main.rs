@@ -28,6 +28,7 @@ struct Options {
     list_rules: bool,
     list_files: bool,
     sarif_out: Option<PathBuf>,
+    lock_graph_dot: Option<PathBuf>,
     timings: bool,
     scan: ScanOptions,
 }
@@ -44,8 +45,8 @@ const USAGE: &str = "adas-lint — safety-invariant static analysis for this wor
 USAGE:
     adas-lint [--root DIR] [--format human|json|sarif] [--baseline FILE]
               [--no-baseline] [--write-baseline] [--list-rules] [--list-files]
-              [--rules R1,R2,...] [--sarif-out FILE] [--no-cache]
-              [--cache-dir DIR] [--timings]
+              [--rules R1,R2,...] [--sarif-out FILE] [--lock-graph-dot FILE]
+              [--no-cache] [--cache-dir DIR] [--timings]
 
 OPTIONS:
     --root DIR         Workspace root to scan (default: auto-detected)
@@ -59,6 +60,8 @@ OPTIONS:
     --list-rules       Print the rule table and exit
     --list-files       Print every file the scan covers and exit
     --sarif-out FILE   Additionally write a SARIF 2.1.0 report to FILE
+    --lock-graph-dot FILE
+                       Write the R12 lock-order graph as GraphViz DOT to FILE
     --no-cache         Bypass the per-file facts cache (cold scan)
     --cache-dir DIR    Facts cache dir (default: <root>/target/adas-lint-cache)
     --timings          Print scan wall-time and cache statistics to stderr
@@ -74,6 +77,7 @@ fn parse_args() -> Result<Options, String> {
         list_rules: false,
         list_files: false,
         sarif_out: None,
+        lock_graph_dot: None,
         timings: false,
         scan: ScanOptions::default(),
     };
@@ -102,6 +106,11 @@ fn parse_args() -> Result<Options, String> {
             "--sarif-out" => {
                 opts.sarif_out =
                     Some(PathBuf::from(args.next().ok_or("--sarif-out needs a value")?));
+            }
+            "--lock-graph-dot" => {
+                opts.lock_graph_dot = Some(PathBuf::from(
+                    args.next().ok_or("--lock-graph-dot needs a value")?,
+                ));
             }
             "--rules" => {
                 let spec = args.next().ok_or("--rules needs a value")?;
@@ -247,6 +256,13 @@ fn main() -> ExitCode {
                 "cache off"
             },
         );
+    }
+
+    if let Some(path) = &opts.lock_graph_dot {
+        if let Err(e) = std::fs::write(path, &report.lock_order_dot) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
     }
 
     if opts.sarif_out.is_some() || opts.format == Format::Sarif {

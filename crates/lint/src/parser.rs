@@ -72,6 +72,45 @@ pub struct PanicSite {
     pub what: String,
 }
 
+/// What a lock-relevant event does (see [`LockEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOp {
+    /// `.lock()` on a `Mutex` — acquires a guard.
+    Acquire,
+    /// `.wait(guard)` / `.wait_timeout(guard, …)` on a `Condvar` (the
+    /// zero-argument `.wait()` of an ordinary method is *not* one).
+    CondWait,
+    /// A call made while at least one guard is held.
+    GuardedCall,
+}
+
+/// One lock-relevant event inside a function body, in source order. The
+/// guard-lifetime model is the token-tree one: a guard bound by a plain
+/// `let` lives until its enclosing block closes (or an explicit
+/// `drop(binding)`); a guard consumed as a temporary inside a larger
+/// expression lives until the end of the full statement — which is exactly
+/// the model under which `x.lock().expect(…).pop().or_else(|| steal())`
+/// calls `steal` *with the guard still held*.
+#[derive(Debug, Clone)]
+pub struct LockEvent {
+    /// 1-based line of the event.
+    pub line: usize,
+    /// Event kind.
+    pub op: LockOp,
+    /// Acquire/CondWait: normalized lock/condvar name — the last field
+    /// segment of the receiver chain (`self.queues[slot].lock()` →
+    /// `queues`). GuardedCall: the callee name.
+    pub what: String,
+    /// Normalized names of locks already held at this event.
+    pub held: Vec<String>,
+    /// Acquire: the guard is consumed by `.expect(…)`/`.unwrap()`.
+    pub expect: bool,
+    /// CondWait: the site sits inside a `while`/`loop` body.
+    pub in_loop: bool,
+    /// GuardedCall: the callee was invoked as `.method(…)`.
+    pub method: bool,
+}
+
 /// A parsed function definition.
 #[derive(Debug, Clone)]
 pub struct FnDef {
@@ -98,6 +137,8 @@ pub struct FnDef {
     pub fields: Vec<(usize, String)>,
     /// Macro invocations in the body (name without `!`).
     pub macros: Vec<(usize, String)>,
+    /// Lock acquisitions, condvar waits, and calls-under-guard (R12/R14).
+    pub locks: Vec<LockEvent>,
 }
 
 /// One arm of a `match`.
@@ -523,6 +564,7 @@ fn parse_fn(
                 panics: Vec::new(),
                 fields: Vec::new(),
                 macros: Vec::new(),
+                locks: Vec::new(),
             }),
             i + 1,
         );
@@ -541,8 +583,10 @@ fn parse_fn(
         panics: Vec::new(),
         fields: Vec::new(),
         macros: Vec::new(),
+        locks: Vec::new(),
     };
     scan_flat(toks, body_start + 1, body_end.saturating_sub(1), &mut def);
+    scan_locks(toks, body_start + 1, body_end.saturating_sub(1), &mut def);
     scan_matches(
         toks,
         body_start + 1,
@@ -629,6 +673,259 @@ fn scan_flat(toks: &[Tok], start: usize, end: usize, def: &mut FnDef) {
                 // `.field` access (await and numeric tuple indices included;
                 // harmless for the consumers).
                 def.fields.push((t.line, t.text.clone()));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Index of the bracket that opens the closer at `close` (which must be
+/// `)`, `]`, or `}`). Falls back to 0 on imbalance.
+fn matching_back(toks: &[Tok], close: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = close;
+    loop {
+        match toks[i].text.as_str() {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        if i == 0 {
+            return 0;
+        }
+        i -= 1;
+    }
+}
+
+/// Start index of the receiver chain feeding the `.` at `dot`: walks back
+/// over idents (`self`, fields), `::` paths, and trailing index/call
+/// groups, so `self.queues[slot]` and `p.state` are each one chain.
+fn chain_start(toks: &[Tok], dot: usize) -> usize {
+    let mut k = dot;
+    loop {
+        if k == 0 {
+            return 0;
+        }
+        let mut seg = k - 1;
+        while matches!(toks[seg].text.as_str(), ")" | "]") {
+            let open = matching_back(toks, seg);
+            if open == 0 {
+                return 0;
+            }
+            seg = open - 1;
+        }
+        if !toks[seg].is_word {
+            return seg + 1;
+        }
+        if seg == 0 {
+            return 0;
+        }
+        match toks[seg - 1].text.as_str() {
+            "." | "::" => k = seg - 1,
+            _ => return seg,
+        }
+    }
+}
+
+/// Normalized lock identity for a receiver chain: the last word token at
+/// bracket level zero (`self.queues[slot]` → `queues`), so every
+/// acquisition of the same field unifies to one graph node. Name-based
+/// identity over-approximates (two same-named fields of different types
+/// unify), which errs toward reporting — the direction a deadlock gate
+/// must err in.
+fn lock_name(toks: &[Tok], start: usize, dot: usize) -> String {
+    let mut depth = 0i64;
+    let mut name: Option<&str> = None;
+    let mut any: Option<&str> = None;
+    for t in &toks[start..dot] {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            _ if t.is_word => {
+                any = Some(&t.text);
+                if depth == 0 {
+                    name = Some(&t.text);
+                }
+            }
+            _ => {}
+        }
+    }
+    name.or(any).unwrap_or("<lock>").to_string()
+}
+
+/// Scoped-guard scan: tracks active `MutexGuard`s through the token tree
+/// and records [`LockEvent`]s. Guard lifetimes follow the model documented
+/// on [`LockEvent`]; `while`/`loop` bodies are tracked for the
+/// `Condvar::wait`-in-predicate-loop obligation. Like [`scan_flat`],
+/// closure bodies are attributed to the enclosing fn — conservative in the
+/// right direction, since `.or_else(|| …)` runs while a same-statement
+/// temporary guard is still held.
+fn scan_locks(toks: &[Tok], start: usize, end: usize, def: &mut FnDef) {
+    struct Guard {
+        name: String,
+        brace: i64,
+        let_bound: bool,
+        binding: Option<String>,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut brace = 0i64;
+    let mut paren = 0i64;
+    let mut loop_braces: Vec<i64> = Vec::new();
+    let mut pending_loop = false;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => {
+                brace += 1;
+                if pending_loop {
+                    loop_braces.push(brace);
+                    pending_loop = false;
+                }
+                i += 1;
+                continue;
+            }
+            "}" => {
+                guards.retain(|g| g.brace < brace);
+                loop_braces.retain(|&d| d < brace);
+                brace -= 1;
+                i += 1;
+                continue;
+            }
+            "(" | "[" => {
+                paren += 1;
+                i += 1;
+                continue;
+            }
+            ")" | "]" => {
+                paren -= 1;
+                i += 1;
+                continue;
+            }
+            ";" => {
+                // End of a full statement: temporaries die here.
+                if paren == 0 {
+                    guards.retain(|g| g.let_bound);
+                }
+                i += 1;
+                continue;
+            }
+            "while" | "loop" => {
+                pending_loop = true;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if t.is_word {
+            let prev = if i > start {
+                Some(toks[i - 1].text.as_str())
+            } else {
+                None
+            };
+            let is_call = toks.get(i + 1).is_some_and(|n| n.text == "(");
+            if is_call && prev == Some(".") {
+                if t.text == "lock" {
+                    let cs = chain_start(toks, i - 1);
+                    let name = lock_name(toks, cs, i - 1);
+                    // Walk the consumer chain past the guard-preserving
+                    // adapters: `.expect(…)`/`.unwrap()` (the poisoning
+                    // policy R12 audits) and `.unwrap_or_else(…)` (the
+                    // `PoisonError::into_inner` recovery idiom).
+                    let mut j = matching(toks, i + 1);
+                    let mut expect = false;
+                    while j < end
+                        && toks[j].text == "."
+                        && toks.get(j + 1).is_some_and(|t| {
+                            matches!(t.text.as_str(), "expect" | "unwrap" | "unwrap_or_else")
+                        })
+                        && toks.get(j + 2).is_some_and(|t| t.text == "(")
+                    {
+                        expect |= toks[j + 1].text != "unwrap_or_else";
+                        j = matching(toks, j + 2);
+                    }
+                    let consumed_inline = j < end && toks[j].text == ".";
+                    // `let g = recv.lock()…;` binds the guard to `g`.
+                    let mut let_bound = false;
+                    let mut binding = None;
+                    if !consumed_inline && cs >= 2 && toks[cs - 1].text == "=" && toks[cs - 2].is_word
+                    {
+                        let b = cs - 2;
+                        let lead = if b >= 1 && toks[b - 1].text == "mut" {
+                            b.checked_sub(2)
+                        } else {
+                            b.checked_sub(1)
+                        };
+                        if lead.is_some_and(|l| toks[l].text == "let") {
+                            let_bound = true;
+                            binding = Some(toks[b].text.clone());
+                        }
+                    }
+                    def.locks.push(LockEvent {
+                        line: t.line,
+                        op: LockOp::Acquire,
+                        what: name.clone(),
+                        held: guards.iter().map(|g| g.name.clone()).collect(),
+                        expect,
+                        in_loop: false,
+                        method: true,
+                    });
+                    guards.push(Guard {
+                        name,
+                        brace,
+                        let_bound,
+                        binding,
+                    });
+                    i += 1;
+                    continue;
+                }
+                if matches!(t.text.as_str(), "wait" | "wait_timeout" | "wait_while")
+                    && toks.get(i + 2).is_some_and(|t| t.text != ")")
+                {
+                    // A condvar wait takes the guard as an argument; the
+                    // zero-arg `.wait()` of an ordinary method does not.
+                    let cs = chain_start(toks, i - 1);
+                    let name = lock_name(toks, cs, i - 1);
+                    def.locks.push(LockEvent {
+                        line: t.line,
+                        op: LockOp::CondWait,
+                        what: name,
+                        held: guards.iter().map(|g| g.name.clone()).collect(),
+                        expect: false,
+                        in_loop: !loop_braces.is_empty(),
+                        method: true,
+                    });
+                    i += 1;
+                    continue;
+                }
+            }
+            if is_call && !guards.is_empty() {
+                if t.text == "drop" && prev != Some(".") {
+                    // `drop(binding)` releases a named guard early.
+                    if let Some(arg) = toks.get(i + 2).filter(|a| a.is_word) {
+                        if toks.get(i + 3).is_some_and(|t| t.text == ")") {
+                            guards.retain(|g| g.binding.as_deref() != Some(arg.text.as_str()));
+                        }
+                    }
+                } else if !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+                    && prev != Some("fn")
+                    && !matches!(t.text.as_str(), "expect" | "unwrap" | "unwrap_or_else")
+                {
+                    def.locks.push(LockEvent {
+                        line: t.line,
+                        op: LockOp::GuardedCall,
+                        what: t.text.clone(),
+                        held: guards.iter().map(|g| g.name.clone()).collect(),
+                        expect: false,
+                        in_loop: false,
+                        method: prev == Some("."),
+                    });
+                }
             }
         }
         i += 1;
@@ -896,5 +1193,101 @@ mod tests {
         assert!(t.is_test);
         let live = f.fns.iter().find(|d| d.name == "live").unwrap();
         assert!(!live.is_test);
+    }
+
+    fn lock_events(src: &str) -> Vec<LockEvent> {
+        facts(src).fns.remove(0).locks
+    }
+
+    #[test]
+    fn temporary_guard_spans_the_full_statement() {
+        // The pool-bug shape: the chain's `.or_else` closure runs while the
+        // temporary guard from `.lock()` is still alive.
+        let ev = lock_events(
+            "fn participate(&self) {\n\
+               let task = self.queues[slot].lock().expect(\"q\").pop_front().or_else(|| self.steal(slot));\n\
+               let next = self.other_work();\n\
+             }\n",
+        );
+        let acq = ev.iter().find(|e| e.op == LockOp::Acquire).unwrap();
+        assert_eq!(acq.what, "queues");
+        assert!(acq.expect);
+        let steal = ev.iter().find(|e| e.what == "steal").unwrap();
+        assert_eq!(steal.op, LockOp::GuardedCall);
+        assert_eq!(steal.held, vec!["queues".to_string()]);
+        // The guard died at the `;`, so the next statement's call is free:
+        // no guard held means no event recorded at all.
+        assert!(!ev.iter().any(|e| e.what == "other_work"));
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_block_close_or_drop() {
+        let ev = lock_events(
+            "fn f(&self) {\n\
+               {\n\
+                 let g = self.state.lock().unwrap();\n\
+                 self.inside();\n\
+               }\n\
+               self.outside();\n\
+               let h = self.state.lock().unwrap();\n\
+               drop(h);\n\
+               self.after_drop();\n\
+             }\n",
+        );
+        assert_eq!(ev.iter().find(|e| e.what == "inside").unwrap().held, vec!["state".to_string()]);
+        // Calls made after the guard is gone record no event.
+        assert!(!ev.iter().any(|e| e.what == "outside"));
+        assert!(!ev.iter().any(|e| e.what == "after_drop"));
+    }
+
+    #[test]
+    fn unwrap_or_else_recovery_preserves_the_guard_without_expect() {
+        let ev = lock_events(
+            "fn f(&self) {\n\
+               let g = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+               self.guarded();\n\
+             }\n",
+        );
+        let acq = ev.iter().find(|e| e.op == LockOp::Acquire).unwrap();
+        assert!(!acq.expect);
+        assert_eq!(ev.iter().find(|e| e.what == "guarded").unwrap().held, vec!["state".to_string()]);
+    }
+
+    #[test]
+    fn condvar_wait_arity_and_loop_detection() {
+        let ev = lock_events(
+            "fn f(&self) {\n\
+               let mut done = self.done.lock().unwrap();\n\
+               while *done < self.total {\n\
+                 done = self.done_cv.wait(done).unwrap();\n\
+               }\n\
+             }\n",
+        );
+        let w = ev.iter().find(|e| e.op == LockOp::CondWait).unwrap();
+        assert_eq!(w.what, "done_cv");
+        assert!(w.in_loop);
+        assert_eq!(w.held, vec!["done".to_string()]);
+        // A zero-argument `.wait()` is an ordinary guarded call, not a
+        // condvar wait.
+        let ev = lock_events(
+            "fn g(&self) { let l = self.m.lock().unwrap(); job.wait(); }\n",
+        );
+        assert!(!ev.iter().any(|e| e.op == LockOp::CondWait));
+        let call = ev.iter().find(|e| e.what == "wait").unwrap();
+        assert_eq!(call.op, LockOp::GuardedCall);
+        assert_eq!(call.held, vec!["m".to_string()]);
+    }
+
+    #[test]
+    fn nested_acquire_records_held_set() {
+        let ev = lock_events(
+            "fn f(&self) {\n\
+               let a = self.alpha.lock().unwrap();\n\
+               let b = self.beta.lock().unwrap();\n\
+             }\n",
+        );
+        let beta = ev.iter().find(|e| e.what == "beta").unwrap();
+        assert_eq!(beta.op, LockOp::Acquire);
+        assert_eq!(beta.held, vec!["alpha".to_string()]);
     }
 }

@@ -41,6 +41,10 @@ pub fn local_rules(info: &FileInfo, src: &SourceFile, facts: &FileFacts) -> Vec<
     if crate::scope::r8_applies(info) {
         r8_enum_exhaustiveness(info, src, facts, &mut out);
     }
+    if crate::scope::concurrency_applies(info) {
+        r12_expect_policy(info, src, facts, &mut out);
+        r14_static_mut(info, src, &mut out);
+    }
     out
 }
 
@@ -66,10 +70,11 @@ pub fn analyze_file(info: &FileInfo, source: &str) -> FileAnalysis {
         .fns
         .into_iter()
         .map(|mut f| {
-            // Field/macro facts are only consumed at parse time; dropping
-            // them keeps cache entries small.
+            // Field facts are only consumed at parse time; dropping them
+            // keeps cache entries small. Macros and lock events survive —
+            // the workspace concurrency/alloc layer (R12–R14) reads them
+            // from the cache on warm runs.
             f.fields = Vec::new();
-            f.macros = Vec::new();
             f
         })
         .collect();
@@ -554,6 +559,84 @@ fn r8_enum_exhaustiveness(
     }
 }
 
+// --------------------------------------------------- R12/R14 (local) ----
+
+/// The marker a file's docs must carry for `.lock().expect(…)` to be
+/// acceptable under R12: a paragraph starting `lock poisoning policy:`
+/// explaining why dying on poison is the right failure mode here (or why
+/// poison is unreachable). Files that instead recover via
+/// `PoisonError::into_inner` never produce the finding in the first place.
+pub const POISON_POLICY_MARKER: &str = "lock poisoning policy:";
+
+/// R12 (local half): every `Mutex::lock` guard consumed by
+/// `.expect(…)`/`.unwrap()` must be covered by a documented poisoning
+/// policy in the same file. Without one, a panic in any other guard holder
+/// turns every later lock attempt into a cascade of worker deaths — the
+/// exact failure mode the pool's panic latch exists to prevent.
+fn r12_expect_policy(
+    info: &FileInfo,
+    src: &SourceFile,
+    facts: &FileFacts,
+    out: &mut Vec<Diagnostic>,
+) {
+    let documented = src
+        .lines
+        .iter()
+        .any(|l| l.raw.contains(POISON_POLICY_MARKER));
+    if documented {
+        return;
+    }
+    for f in facts.fns.iter().filter(|f| !f.is_test) {
+        for ev in &f.locks {
+            if ev.op == crate::parser::LockOp::Acquire && ev.expect {
+                let snippet = src
+                    .lines
+                    .get(ev.line.saturating_sub(1))
+                    .map(|l| l.raw.trim().to_string())
+                    .unwrap_or_default();
+                out.push(diag(
+                    Rule::LockDiscipline,
+                    info,
+                    ev.line.saturating_sub(1),
+                    &snippet,
+                    format!(
+                        "`.lock()` guard on `{}` consumed by expect/unwrap with no \
+                         documented poisoning policy; recover with \
+                         `.unwrap_or_else(PoisonError::into_inner)` or document a \
+                         `{POISON_POLICY_MARKER}` in this file",
+                        ev.what
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// R14 (local half): `static mut` is shared mutable state with no
+/// synchronization story at all — any access order is a data race the
+/// compiler cannot see, and campaign results touching one are
+/// scheduling-dependent by construction.
+fn r14_static_mut(info: &FileInfo, src: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (i, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if let Some(pos) = find_token(&line.code, "static") {
+            if line.code[pos + "static".len()..].trim_start().starts_with("mut ") {
+                out.push(diag(
+                    Rule::SharedStateDeterminism,
+                    info,
+                    i,
+                    &line.raw,
+                    "`static mut` is unsynchronized shared mutable state; use an \
+                     atomic, a `Mutex`, or thread-local state instead"
+                        .into(),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -731,5 +814,76 @@ mod tests {
             "fn h(o: Option<u8>) -> u8 { o.unwrap() } // adas-lint: allow(R2, reason = \"demo\")\n",
         );
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn r12_expect_without_poisoning_policy_fires() {
+        let d = check(
+            "crates/platform/src/pool.rs",
+            "fn f(&self) { let g = self.state.lock().expect(\"pool lock\"); }\n",
+        );
+        assert_eq!(
+            d.iter().filter(|d| d.rule == Rule::LockDiscipline).count(),
+            1,
+            "{d:?}"
+        );
+        assert!(d[0].message.contains("poisoning policy"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn r12_documented_policy_or_recovery_is_silent() {
+        // A `lock poisoning policy:` paragraph anywhere in the file covers
+        // every expect-consumed guard in it.
+        let d = check(
+            "crates/platform/src/pool.rs",
+            "//! lock poisoning policy: workers never panic while holding these.\n\
+             fn f(&self) { let g = self.state.lock().expect(\"pool lock\"); }\n",
+        );
+        assert!(d.iter().all(|d| d.rule != Rule::LockDiscipline), "{d:?}");
+        // Recovery via `PoisonError::into_inner` never sets the expect flag.
+        let d = check(
+            "crates/platform/src/pool.rs",
+            "fn f(&self) { let g = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner); }\n",
+        );
+        assert!(d.iter().all(|d| d.rule != Rule::LockDiscipline), "{d:?}");
+    }
+
+    #[test]
+    fn r12_is_scoped_to_concurrency_crates_and_skips_tests() {
+        // The lint crate itself is outside the concurrency scope.
+        let d = check(
+            "crates/lint/src/x.rs",
+            "fn f(&self) { let g = self.state.lock().expect(\"x\"); }\n",
+        );
+        assert!(d.iter().all(|d| d.rule != Rule::LockDiscipline), "{d:?}");
+        let d = check(
+            "crates/platform/src/pool.rs",
+            "#[cfg(test)]\nmod tests {\n  fn t(&self) { let g = self.state.lock().expect(\"x\"); }\n}\n",
+        );
+        assert!(d.iter().all(|d| d.rule != Rule::LockDiscipline), "{d:?}");
+    }
+
+    #[test]
+    fn r14_static_mut_fires_outside_tests() {
+        let d = check(
+            "crates/platform/src/x.rs",
+            "static mut COUNTER: u64 = 0;\n",
+        );
+        assert_eq!(
+            d.iter()
+                .filter(|d| d.rule == Rule::SharedStateDeterminism)
+                .count(),
+            1,
+            "{d:?}"
+        );
+        // `static` without `mut` (and test code) stay silent.
+        let d = check(
+            "crates/platform/src/x.rs",
+            "static NAME: &str = \"pool\";\n#[cfg(test)]\nmod tests {\n  static mut T: u64 = 0;\n}\n",
+        );
+        assert!(
+            d.iter().all(|d| d.rule != Rule::SharedStateDeterminism),
+            "{d:?}"
+        );
     }
 }

@@ -93,6 +93,23 @@ pub const SEMANTIC_CRATES: [&str; 8] = [
 /// commands and the bus codec that frames them.
 pub const R9_CRATES: [&str; 2] = ["openadas", "canbus"];
 
+/// Crates the concurrency/allocation layer (R12–R14) analyzes: the
+/// platform crate owns the pool, the batched core, and the campaign
+/// runner — every Mutex/Condvar in the workspace lives there — and the
+/// hot-path reachability closure for R13 extends into the crates the tick
+/// roots call into.
+pub const CONCURRENCY_CRATES: [&str; 9] = [
+    "platform",
+    "openadas",
+    "canbus",
+    "driving-sim",
+    "driver-model",
+    "units",
+    "msgbus",
+    "core",
+    "defense",
+];
+
 /// Classifies a workspace-relative path.
 pub fn classify(rel: &str) -> FileInfo {
     let rel = rel.replace('\\', "/");
@@ -169,6 +186,12 @@ pub fn r11_applies(info: &FileInfo) -> bool {
     needs_ir(info)
 }
 
+/// Whether the concurrency/allocation layer (R12–R14) analyzes this file.
+/// Library code only: tests and benches lock and allocate by design.
+pub fn concurrency_applies(info: &FileInfo) -> bool {
+    info.kind == FileKind::Lib && CONCURRENCY_CRATES.contains(&info.crate_name.as_str())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +236,14 @@ mod tests {
         assert!(r9_applies(&classify("crates/canbus/src/codec.rs")));
         assert!(!r9_applies(&classify("crates/core/src/corruption.rs")));
         assert!(r11_applies(&classify("crates/core/src/corruption.rs")));
+    }
+
+    #[test]
+    fn concurrency_scope() {
+        assert!(concurrency_applies(&classify("crates/platform/src/pool.rs")));
+        assert!(concurrency_applies(&classify("crates/openadas/src/adas.rs")));
+        assert!(!concurrency_applies(&classify("crates/lint/src/locks.rs")));
+        assert!(!concurrency_applies(&classify("crates/platform/tests/alloc.rs")));
+        assert!(!concurrency_applies(&classify("crates/bench/benches/micro.rs")));
     }
 }

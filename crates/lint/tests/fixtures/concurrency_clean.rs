@@ -1,0 +1,54 @@
+//! Clean concurrency fixture: ordered lock nesting, a predicate-loop
+//! wait, index-addressed merges, and an allocation-free steady-state
+//! tick. The analyzer must discharge every obligation here — a single
+//! finding on this file is a false positive.
+//!
+//! lock poisoning policy: guards recover with
+//! `unwrap_or_else(PoisonError::into_inner)`; the shared state is
+//! repaired before reuse, so a panicked worker never wedges its peers.
+
+use std::sync::{Condvar, Mutex, PoisonError};
+
+pub struct Harness {
+    scratch: [u64; 8],
+    cursor: usize,
+}
+
+impl Harness {
+    /// The steady-state tick writes in place — nothing allocates.
+    pub fn step(&mut self) {
+        self.scratch[self.cursor % 8] = self.cursor as u64;
+        self.cursor += 1;
+    }
+}
+
+pub struct Pool {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+    gate: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Pool {
+    /// Locks nest in one global order: `alpha`, then `beta`.
+    pub fn ordered(&self) {
+        let _a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        let _b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+    }
+
+    /// The wait re-checks its predicate in a loop, so spurious wakeups
+    /// and stolen wakeups are both harmless.
+    pub fn await_gate(&self) {
+        let mut g = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Results land by lane index into pre-sized slots — completion
+    /// order cannot show in the output.
+    pub fn merge(&self, out: &Mutex<Vec<Option<u32>>>, lane: usize, v: u32) {
+        let mut g = out.lock().unwrap_or_else(PoisonError::into_inner);
+        g[lane] = Some(v);
+    }
+}

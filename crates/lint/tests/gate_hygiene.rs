@@ -117,6 +117,53 @@ fn cache_entries_are_keyed_by_rule_set() {
 }
 
 #[test]
+fn concurrency_facts_are_part_of_the_scan_key() {
+    // Same regression for the concurrency layer: a subset scan that skips
+    // R12–R14 has no reason to store lock events or allocation facts, so
+    // its entries must never satisfy a scan that needs them. The rule-set
+    // fingerprint folds the R12–R14 tables into the scan key, which keeps
+    // the two caches disjoint.
+    let ws = temp_ws("cache_concurrency_key");
+    fs::create_dir_all(ws.join("crates/platform/src")).expect("mkdir");
+    fs::write(
+        ws.join("crates/platform/src/lib.rs"),
+        "pub static mut TICKS: u64 = 0;\n\
+         pub struct Harness { buf: Vec<u64> }\n\
+         impl Harness {\n\
+             pub fn step(&mut self) { self.buf.push(1); }\n\
+         }\n",
+    )
+    .expect("write");
+    let cache = ws.join("lint-cache");
+
+    // Populate the cache with a scan that runs none of R12–R14.
+    let subset = ScanOptions {
+        rules: vec![Rule::UnitSafety],
+        ..opts(Some(cache.clone()), true)
+    };
+    let narrow = scan_workspace_with(&ws, None, &subset).expect("subset scan");
+    assert!(
+        narrow.active.is_empty(),
+        "the planted violations are invisible to the subset: {:?}",
+        narrow.active
+    );
+
+    // The full scan must recompute and see both planted violations.
+    let full = scan_workspace_with(&ws, None, &opts(Some(cache), true)).expect("full scan");
+    assert_eq!(full.cache_hits, 0, "full scan must not reuse subset entries");
+    assert!(
+        full.active.iter().any(|d| d.rule == Rule::SharedStateDeterminism),
+        "the planted static mut must survive a warm subset cache: {:?}",
+        full.active
+    );
+    assert!(
+        full.active.iter().any(|d| d.rule == Rule::AllocFreedom),
+        "the planted hot-path allocation must survive a warm subset cache: {:?}",
+        full.active
+    );
+}
+
+#[test]
 fn dead_suppression_fails_the_gate_as_a_warning() {
     let ws = temp_ws("dead_suppression");
     fs::write(

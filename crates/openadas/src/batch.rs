@@ -28,7 +28,7 @@ impl AdasColumn {
     /// Appends a lane engaged at the given cruise set-speed. The lane gets
     /// a private idle bus — nothing publishes on it and the direct cycle
     /// never drains it, so it costs nothing per tick.
-    pub fn push(&mut self, v_cruise: Speed) {
+    pub fn admit(&mut self, v_cruise: Speed) {
         self.lanes.push(Adas::new(&Bus::new(), v_cruise));
     }
 

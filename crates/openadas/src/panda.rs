@@ -8,7 +8,7 @@
 //! if deployed on an actual vehicle" (§IV-E.4). The strategic values are
 //! chosen inside this stricter envelope so they would pass even here.
 
-use canbus::{decode, CanFrame, VirtualCarDbc};
+use canbus::{decode_signal, CanFrame, VirtualCarDbc};
 use units::{Accel, Angle};
 
 use crate::SafetyLimits;
@@ -91,19 +91,17 @@ impl PandaSafety {
 
     fn evaluate(&mut self, frame: &CanFrame) -> PandaVerdict {
         if frame.id() == self.dbc.steering_control().id {
-            let map = match decode(self.dbc.steering_control(), frame) {
-                Ok(m) => m,
-                Err(e) => return PandaVerdict::Blocked(format!("steering frame: {e}")),
-            };
-            // Fail closed: a decoded steering frame without its command
-            // signal is malformed traffic, not a pass.
-            let Some(&deg) = map.get("STEER_ANGLE_CMD") else {
-                return PandaVerdict::Blocked("steering frame: missing STEER_ANGLE_CMD".into());
+            // The allocation-free single-signal decode: the firmware model
+            // sits on the per-frame hot path, so it must not build a
+            // signal map per frame (R13).
+            let deg = match decode_signal(self.dbc.steering_control(), frame, "STEER_ANGLE_CMD") {
+                Ok(v) => v,
+                Err(e) => return blocked(format_args!("steering frame: {e}")),
             };
             let steer = Angle::from_degrees(deg);
             let jump = (steer - self.last_steer).abs();
             if jump > self.limits.steer_max {
-                return PandaVerdict::Blocked(format!(
+                return blocked(format_args!(
                     "steer change {:.3} deg exceeds {:.3} deg per frame",
                     jump.degrees(),
                     self.limits.steer_max.degrees()
@@ -111,31 +109,25 @@ impl PandaSafety {
             }
             self.last_steer = steer;
         } else if frame.id() == self.dbc.gas_command().id {
-            let map = match decode(self.dbc.gas_command(), frame) {
-                Ok(m) => m,
-                Err(e) => return PandaVerdict::Blocked(format!("gas frame: {e}")),
-            };
-            let Some(&mps2) = map.get("ACCEL_CMD") else {
-                return PandaVerdict::Blocked("gas frame: missing ACCEL_CMD".into());
+            let mps2 = match decode_signal(self.dbc.gas_command(), frame, "ACCEL_CMD") {
+                Ok(v) => v,
+                Err(e) => return blocked(format_args!("gas frame: {e}")),
             };
             let accel = Accel::from_mps2(mps2);
             if accel > self.limits.accel_max {
-                return PandaVerdict::Blocked(format!(
+                return blocked(format_args!(
                     "accel {} exceeds {}",
                     accel, self.limits.accel_max
                 ));
             }
         } else if frame.id() == self.dbc.brake_command().id {
-            let map = match decode(self.dbc.brake_command(), frame) {
-                Ok(m) => m,
-                Err(e) => return PandaVerdict::Blocked(format!("brake frame: {e}")),
-            };
-            let Some(&mps2) = map.get("BRAKE_CMD") else {
-                return PandaVerdict::Blocked("brake frame: missing BRAKE_CMD".into());
+            let mps2 = match decode_signal(self.dbc.brake_command(), frame, "BRAKE_CMD") {
+                Ok(v) => v,
+                Err(e) => return blocked(format_args!("brake frame: {e}")),
             };
             let brake = Accel::from_mps2(mps2);
             if brake < self.limits.brake_min {
-                return PandaVerdict::Blocked(format!(
+                return blocked(format_args!(
                     "brake {} exceeds {}",
                     brake, self.limits.brake_min
                 ));
@@ -143,6 +135,14 @@ impl PandaSafety {
         }
         PandaVerdict::Pass
     }
+}
+
+/// Builds a blocked verdict — the safety model's only allocation, funneled
+/// through one site so the hot-path proof has exactly one witness to
+/// justify: verdict text exists only for frames the envelope rejects.
+fn blocked(reason: std::fmt::Arguments<'_>) -> PandaVerdict {
+    // adas-lint: allow(R13, reason = "verdict text is built only for a blocked frame — attack evidence, never a clean steady-state tick")
+    PandaVerdict::Blocked(reason.to_string())
 }
 
 #[cfg(test)]

@@ -100,11 +100,11 @@ struct FastBatch {
 }
 
 impl FastBatch {
-    fn push(&mut self, config: HarnessConfig) -> usize {
+    fn admit(&mut self, config: HarnessConfig) -> usize {
         let lane = self.meta.len();
-        self.worlds.push(config.scenario, config.seed);
-        self.sensors.push(config.seed);
-        self.adas.push(config.scenario.cruise_speed);
+        self.worlds.admit(config.scenario, config.seed);
+        self.sensors.admit(config.seed);
+        self.adas.admit(config.scenario.cruise_speed);
         // Same seed derivation as the scalar harness; the engine's
         // eavesdropper taps a private idle bus it will never drain.
         self.attackers.push(config.attack.map(|mut a| {
@@ -212,29 +212,33 @@ impl FastBatch {
 
         // Stage 5: physics, then hazards over the stepped worlds.
         self.worlds.step_batch(&self.cmds, &self.step_world);
-        let mut retire = Vec::new();
-        for (i, ((meta, world), hazard)) in self
+        for ((meta, world), hazard) in self
             .meta
             .iter_mut()
             .zip(self.worlds.as_slice())
             .zip(&mut self.hazards)
-            .enumerate()
         {
             if meta.regime == Regime::Retired {
                 continue;
             }
             hazard.step(world);
             if world.collision().is_some() {
-                // A collision ends the run physically; retire the lane by
-                // fast-forwarding the remaining clock-only ticks.
-                retire.push(i);
+                // A collision ends the run physically; the lane is
+                // fast-forwarded through its remaining clock-only ticks
+                // below.
                 meta.regime = Regime::Retired;
             } else if meta.ever_disengaged {
                 meta.regime = Regime::Disengaged;
             }
         }
-        for i in retire {
-            self.worlds.run_out(i);
+        // Lanes retired *this* tick are exactly those whose `step_world`
+        // mask (written at tick start, before any regime change) is still
+        // set — no scratch list, so the steady-state tick stays
+        // allocation-free (R13).
+        for i in 0..self.meta.len() {
+            if self.meta[i].regime == Regime::Retired && self.step_world[i] {
+                self.worlds.run_out(i);
+            }
         }
     }
 
@@ -440,10 +444,12 @@ impl BatchHarness {
             && !config.panda_enabled
     }
 
-    /// Adds one lane.
-    pub fn push(&mut self, config: HarnessConfig) {
+    /// Adds one lane. (Named `admit`, not `push`: workspace convention
+    /// reserves std container method names for std semantics so the
+    /// lint's name-based call graph stays precise.)
+    pub fn admit(&mut self, config: HarnessConfig) {
         if Self::fast_eligible(&config) {
-            let i = self.fast.push(config);
+            let i = self.fast.admit(config);
             self.order.push(LaneRef::Fast(i));
         } else {
             self.order.push(LaneRef::Exact(self.exact.len()));
@@ -559,7 +565,7 @@ mod tests {
             (ScenarioId::S4, 50.0, 5),
         ] {
             let cfg = HarnessConfig::no_attack(scenario(s, gap), seed);
-            batch.push(cfg);
+            batch.admit(cfg);
             scalar.push(Harness::new(cfg).run());
         }
         assert_eq!(batch.fast_lanes(), 3);
@@ -584,7 +590,7 @@ mod tests {
                 5 + i as u64,
                 attack(t, StrategyKind::ContextAware, v),
             );
-            batch.push(cfg);
+            batch.admit(cfg);
             scalar.push(Harness::new(cfg).run());
         }
         assert_eq!(batch.fast_lanes(), 4);
@@ -601,7 +607,7 @@ mod tests {
         let mut batch = BatchHarness::new();
         let mut cfg = HarnessConfig::no_attack(scenario(ScenarioId::S1, 70.0), 9);
         cfg.panda_enabled = true;
-        batch.push(cfg);
+        batch.admit(cfg);
         assert_eq!(batch.fast_lanes(), 0);
         assert_eq!(batch.exact_lanes(), 1);
         assert_eq!(batch.run(), vec![Harness::new(cfg).run()]);
@@ -613,9 +619,9 @@ mod tests {
         let mut exact = HarnessConfig::no_attack(scenario(ScenarioId::S1, 70.0), 12);
         exact.defense = crate::DefensePolicy::Observe;
         let mut batch = BatchHarness::new();
-        batch.push(fast);
-        batch.push(exact);
-        batch.push(fast);
+        batch.admit(fast);
+        batch.admit(exact);
+        batch.admit(fast);
         assert_eq!(batch.fast_lanes(), 2);
         assert_eq!(batch.exact_lanes(), 1);
         let expected = vec![

@@ -24,11 +24,21 @@
 //! `Arc<[RunSpec]>`) rather than borrowing from the submitting stack frame.
 //! Borrow-based generic maps (the lint crate's analysis fan-out) stay on
 //! the scoped runner in [`crate::experiment::run_parallel_map_with`].
+//!
+//! Every lock acquisition recovers from poisoning with
+//! [`PoisonError::into_inner`] instead of unwrapping (R12). That is sound
+//! here because no guard is ever held across user code that can panic: a
+//! task runs inside `catch_unwind` *between* guard scopes, so a poisoned
+//! mutex can only mean a sibling died from a secondary effect of a panic
+//! that is already latched and re-thrown at the submit site — the counters
+//! and deques the guards protect are structurally consistent, and killing
+//! every later campaign on a flag would turn one failed cell into a
+//! permanently dead pool.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 
 /// One submitted fan-out: `total` index-addressed tasks, type-erased behind
 /// a boxed closure that writes each result into a caller-held slot.
@@ -73,7 +83,9 @@ impl Job {
     /// Whether every task has been claimed (not necessarily finished).
     /// Used by the pool to stop routing new participants at a spent job.
     fn drained(&self) -> bool {
-        self.queues.iter().all(|q| q.lock().expect("queue lock").is_empty())
+        self.queues
+            .iter()
+            .all(|q| q.lock().unwrap_or_else(PoisonError::into_inner).is_empty())
     }
 
     /// Claims a participant slot and runs tasks — own block first, stolen
@@ -83,18 +95,20 @@ impl Job {
     fn participate(&self) {
         let slot = self.claims.fetch_add(1, Ordering::Relaxed) % self.queues.len();
         loop {
-            let task = self
-                .queues[slot]
+            // The own-queue pop is its own statement so the temporary
+            // guard dies at the `;` before `steal` touches the other
+            // queues (R12): two participants stealing from each other
+            // while each holds its own queue lock would deadlock.
+            let own = self.queues[slot]
                 .lock()
-                .expect("queue lock")
-                .pop_front()
-                .or_else(|| self.steal(slot));
-            let Some(i) = task else { break };
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front();
+            let Some(i) = own.or_else(|| self.steal(slot)) else { break };
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.run_one)(i))) {
-                let mut first = self.panic.lock().expect("panic latch");
+                let mut first = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
                 first.get_or_insert(payload);
             }
-            let mut done = self.done.lock().expect("done lock");
+            let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
             *done += 1;
             if *done == self.total {
                 self.done_cv.notify_all();
@@ -108,16 +122,19 @@ impl Job {
         (1..k).find_map(|off| {
             self.queues[(slot + off) % k]
                 .lock()
-                .expect("queue lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .pop_back()
         })
     }
 
     /// Blocks until every task has finished.
     fn wait(&self) {
-        let mut done = self.done.lock().expect("done lock");
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
         while *done < self.total {
-            done = self.done_cv.wait(done).expect("done wait");
+            done = self
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -148,23 +165,28 @@ fn pool() -> &'static WorkerPool {
 /// A persistent worker: grab the front live job, help until it is drained,
 /// park until the next submission. Workers never exit; between campaigns
 /// they cost one parked OS thread each.
-fn spawn_worker(p: &'static WorkerPool) {
+///
+/// # Errors
+///
+/// Returns the OS error when the thread cannot be spawned; the caller
+/// degrades to fewer participants instead of dying (R7: fail closed).
+fn spawn_worker(p: &'static WorkerPool) -> std::io::Result<()> {
     std::thread::Builder::new()
         .name("campaign-worker".into())
         .spawn(move || loop {
             let job = {
-                let mut st = p.state.lock().expect("pool lock");
+                let mut st = p.state.lock().unwrap_or_else(PoisonError::into_inner);
                 loop {
                     st.jobs.retain(|j| !j.drained());
                     if let Some(j) = st.jobs.front() {
                         break Arc::clone(j);
                     }
-                    st = p.work.wait(st).expect("pool wait");
+                    st = p.work.wait(st).unwrap_or_else(PoisonError::into_inner);
                 }
             };
             job.participate();
         })
-        .expect("spawn campaign worker");
+        .map(|_| ())
 }
 
 /// Maps `f` over `0..n` on the persistent pool, preserving index order.
@@ -203,17 +225,36 @@ where
         n,
         Box::new(move |i| {
             let value = f(i);
-            *sink[i].lock().expect("result slot") = Some(value);
+            *sink[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
         }),
     ));
 
     let p = pool();
-    {
-        let mut st = p.state.lock().expect("pool lock");
-        while st.spawned < participants - 1 {
-            st.spawned += 1;
-            spawn_worker(p);
+    // Reserve the missing workers under the lock, but spawn them outside
+    // it (R12): `thread::spawn` calls into the OS, and a worker that wakes
+    // instantly would block on the very pool lock the submitter still
+    // holds.
+    let reserved = {
+        let mut st = p.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let missing = (participants - 1).saturating_sub(st.spawned);
+        st.spawned += missing;
+        missing
+    };
+    let mut started = 0;
+    for _ in 0..reserved {
+        if spawn_worker(p).is_err() {
+            break;
         }
+        started += 1;
+    }
+    if started < reserved {
+        // Fail closed: return the reservations the OS refused. The job
+        // still completes — the submitting thread always participates.
+        let mut st = p.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.spawned -= reserved - started;
+    }
+    {
+        let mut st = p.state.lock().unwrap_or_else(PoisonError::into_inner);
         st.jobs.push_back(Arc::clone(&job));
     }
     p.work.notify_all();
@@ -221,17 +262,22 @@ where
     job.participate();
     job.wait();
     {
-        let mut st = p.state.lock().expect("pool lock");
+        let mut st = p.state.lock().unwrap_or_else(PoisonError::into_inner);
         st.jobs.retain(|j| !Arc::ptr_eq(j, &job));
     }
-    if let Some(payload) = job.panic.lock().expect("panic latch").take() {
+    if let Some(payload) = job
+        .panic
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+    {
         resume_unwind(payload);
     }
     slots
         .iter()
         .map(|slot| {
             slot.lock()
-                .expect("result slot")
+                .unwrap_or_else(PoisonError::into_inner)
                 .take()
                 .expect("every task ran exactly once")
         })

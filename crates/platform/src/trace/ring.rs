@@ -32,8 +32,9 @@ impl TraceRing {
     }
 
     /// Appends a record, overwriting the oldest once full.
-    pub fn push(&mut self, record: TickRecord) {
+    pub fn record(&mut self, record: TickRecord) {
         if self.slots.len() < self.capacity {
+            // adas-lint: allow(R13, reason = "fills a fixed-capacity ring pre-reserved by new(); push never reallocates, and once full every record overwrites in place")
             self.slots.push(record);
         } else {
             self.slots[self.head] = record;
@@ -130,7 +131,7 @@ mod tests {
     fn fills_then_wraps_keeping_the_newest() {
         let mut ring = TraceRing::new(8);
         for t in 0..20 {
-            ring.push(record(t));
+            ring.record(record(t));
         }
         assert_eq!(ring.len(), 8);
         assert_eq!(ring.total_pushed(), 20);
@@ -143,7 +144,7 @@ mod tests {
     fn chronological_before_wrap() {
         let mut ring = TraceRing::new(8);
         for t in 0..5 {
-            ring.push(record(t));
+            ring.record(record(t));
         }
         let ticks: Vec<u64> = ring.iter().map(|r| r.tick).collect();
         assert_eq!(ticks, vec![0, 1, 2, 3, 4]);
@@ -154,7 +155,7 @@ mod tests {
     fn tail_returns_newest_in_order() {
         let mut ring = TraceRing::new(4);
         for t in 0..11 {
-            ring.push(record(t));
+            ring.record(record(t));
         }
         let tail: Vec<u64> = ring.tail(2).iter().map(|r| r.tick).collect();
         assert_eq!(tail, vec![9, 10]);
@@ -165,8 +166,8 @@ mod tests {
     #[test]
     fn zero_capacity_is_clamped() {
         let mut ring = TraceRing::new(0);
-        ring.push(record(1));
-        ring.push(record(2));
+        ring.record(record(1));
+        ring.record(record(2));
         assert_eq!(ring.len(), 1);
         assert_eq!(ring.last().unwrap().tick, 2);
     }

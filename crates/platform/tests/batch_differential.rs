@@ -73,7 +73,7 @@ fn fault_schedule(kind_i: usize, intensity: f64, start: u64, duration: u64) -> F
 fn assert_batch_matches_scalar(configs: Vec<HarnessConfig>) {
     let mut batch = BatchHarness::new();
     for cfg in &configs {
-        batch.push(*cfg);
+        batch.admit(*cfg);
     }
     let batched = batch.run_traced();
     assert_eq!(batched.len(), configs.len());
@@ -116,8 +116,8 @@ proptest! {
         let b = base_config(scenario_j, seed_b, !driver_alert);
 
         let mut probe = BatchHarness::new();
-        probe.push(a);
-        probe.push(b);
+        probe.admit(a);
+        probe.admit(b);
         prop_assert_eq!(probe.fast_lanes(), 2, "both lanes must take the fast path");
 
         assert_batch_matches_scalar(vec![a, b]);
@@ -153,8 +153,8 @@ proptest! {
         let fast = base_config(scenario_i + 1, seed ^ 0x9E37_79B9, true);
 
         let mut probe = BatchHarness::new();
-        probe.push(exact);
-        probe.push(fast);
+        probe.admit(exact);
+        probe.admit(fast);
         prop_assert_eq!(probe.exact_lanes(), 1, "faulted lane must take the exact path");
         prop_assert_eq!(probe.fast_lanes(), 1);
 

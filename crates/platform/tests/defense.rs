@@ -108,8 +108,8 @@ fn total_sensor_latency_is_stale_and_degrades() {
 fn stuck_gps_and_radar_degrade_before_any_hazard() {
     let scenario = Scenario::matrix()[0]; // S1, closest gap
     let mut faults = FaultSchedule::empty();
-    faults.push(window(FaultKind::SensorStuckAt, FaultTarget::Gps).with_intensity(0.3));
-    faults.push(window(FaultKind::SensorStuckAt, FaultTarget::Radar).with_intensity(0.3));
+    faults.add(window(FaultKind::SensorStuckAt, FaultTarget::Gps).with_intensity(0.3));
+    faults.add(window(FaultKind::SensorStuckAt, FaultTarget::Radar).with_intensity(0.3));
 
     // Undefended: the frozen streams look alive and nothing degrades —
     // this is exactly the blind spot.

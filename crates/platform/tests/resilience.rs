@@ -64,11 +64,11 @@ fn total_radar_loss_fails_safe_without_collisions_across_the_matrix() {
 #[test]
 fn faulted_run_is_bit_reproducible() {
     let mut schedule = FaultSchedule::empty();
-    schedule.push(
+    schedule.add(
         FaultSpec::window(FaultKind::SensorNoiseBurst, FaultTarget::All, 300, 800)
             .with_intensity(0.7),
     );
-    schedule.push(FaultSpec::window(FaultKind::CanBitFlip, FaultTarget::All, 900, 600)
+    schedule.add(FaultSpec::window(FaultKind::CanBitFlip, FaultTarget::All, 900, 600)
         .with_intensity(0.4));
     let cfg = HarnessConfig::no_attack(Scenario::matrix()[2], 11)
         .with_faults(schedule)
