@@ -11,12 +11,12 @@
 //! JSON reports must match byte for byte: seeded fault injection is part
 //! of the reproducibility contract.
 
-use bench::{scale_divisor, scaled_reps, write_artifact};
+use bench::{canonical_resilience_config, scale_divisor, write_artifact};
 use platform::experiment::RunnerConfig;
-use platform::resilience::{run_resilience_campaign_with, ResilienceConfig};
+use platform::resilience::run_resilience_campaign_with;
 
 fn main() {
-    let cfg = ResilienceConfig::new(7, scaled_reps());
+    let cfg = canonical_resilience_config();
     let t0 = std::time::Instant::now();
     let report = run_resilience_campaign_with(RunnerConfig::default(), &cfg);
     let seconds = t0.elapsed().as_secs_f64();

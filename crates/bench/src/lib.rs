@@ -46,6 +46,17 @@ pub fn scaled_reps() -> u32 {
     (20 / scale_divisor()).max(1)
 }
 
+/// The canonical resilience campaign: base seed 7, the paper's
+/// repetition count after [`scale_divisor`] scaling, `Degrade` defense.
+///
+/// This is the single definition shared by the `resilience` bench target
+/// (which writes `BENCH_resilience.json`) and the campaignd integration
+/// tests (which assert the daemon reproduces the same report byte for
+/// byte) — one campaign identity, two front ends.
+pub fn canonical_resilience_config() -> platform::resilience::ResilienceConfig {
+    platform::resilience::ResilienceConfig::new(7, scaled_reps())
+}
+
 /// Formats a mean ± std pair the way the paper's tables print TTH.
 pub fn fmt_tth(ms: &MeanStd) -> String {
     if ms.n == 0 {

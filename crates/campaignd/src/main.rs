@@ -1,0 +1,123 @@
+//! `campaignd` — the campaign daemon binary.
+//!
+//! ```text
+//! campaignd --state-dir DIR [--addr 127.0.0.1:0] [--resume]
+//!           [--queue-cap N] [--workers N] [--retries N]
+//!           [--backoff-ms N] [--deadline-ms N]
+//! ```
+//!
+//! Prints exactly one `campaignd listening on <addr>` line to stdout once
+//! bound (the integration tests parse it), then serves until a
+//! `POST /shutdown` drains it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use campaignd::server::{DaemonConfig, Server};
+use campaignd::supervisor::SupervisorConfig;
+
+struct Args {
+    addr: String,
+    cfg: DaemonConfig,
+}
+
+fn usage() -> String {
+    "usage: campaignd --state-dir DIR [--addr HOST:PORT] [--resume] \
+[--queue-cap N] [--workers N] [--retries N] [--backoff-ms N] [--deadline-ms N]"
+        .to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut state_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut queue_cap = 16usize;
+    let mut supervisor = SupervisorConfig::default();
+
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?.clone(),
+            "--state-dir" => state_dir = Some(PathBuf::from(value("--state-dir")?)),
+            "--resume" => resume = true,
+            "--queue-cap" => {
+                queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|_| "--queue-cap must be an integer".to_string())?;
+            }
+            "--workers" => {
+                supervisor.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer".to_string())?;
+            }
+            "--retries" => {
+                supervisor.max_attempts = value("--retries")?
+                    .parse()
+                    .map_err(|_| "--retries must be an integer".to_string())?;
+            }
+            "--backoff-ms" => {
+                supervisor.backoff_base_ms = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|_| "--backoff-ms must be an integer".to_string())?;
+            }
+            "--deadline-ms" => {
+                supervisor.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms must be an integer".to_string())?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    let state_dir = state_dir.ok_or_else(|| format!("--state-dir is required\n{}", usage()))?;
+    Ok(Args {
+        addr,
+        cfg: DaemonConfig {
+            state_dir,
+            queue_cap,
+            resume,
+            supervisor,
+            ..DaemonConfig::default()
+        },
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(&args.addr, args.cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("campaignd: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            use std::io::Write;
+            let mut out = std::io::stdout();
+            let _ = writeln!(out, "campaignd listening on {addr}");
+            let _ = out.flush();
+        }
+        Err(e) => {
+            eprintln!("campaignd: local_addr failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("campaignd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -24,8 +24,11 @@ use std::path::{Path, PathBuf};
 /// [`scan_key`] — content hash mixed with the scan-configuration
 /// fingerprint — so a cache written under one rule set is never served to
 /// a scan running a different one. v4: fn entries carry macro and
-/// lock-event facts for the concurrency/alloc layer, R12–R14.)
-pub const FORMAT_VERSION: u32 = 4;
+/// lock-event facts for the concurrency/alloc layer, R12–R14. v5: the
+/// campaignd crate joined the scan scope and the R7 root set — scope
+/// tables are not part of the config fingerprint, so the version bump is
+/// what invalidates verdicts computed under the old scope.)
+pub const FORMAT_VERSION: u32 = 5;
 
 /// Flattened R12–R14 rule tables, folded into the config fingerprint:
 /// editing a lock-boundary, merge-sink, or allocating-API table must

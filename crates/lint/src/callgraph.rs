@@ -18,9 +18,17 @@ use crate::symbols::SymbolTable;
 use std::collections::{HashMap, VecDeque};
 
 /// The fully-qualified roots the R7 walk starts from: one scalar tick of
-/// the closed loop, one batched tick, and the campaign pool's worker loop.
-/// Everything the steady state can execute hangs off these three.
-pub const R7_ROOTS: [&str; 3] = ["Harness::step", "BatchHarness::step", "spawn_worker"];
+/// the closed loop, one batched tick, the campaign pool's worker loop,
+/// and the campaign daemon's two long-running service loops (a panic in
+/// either kills the service, not just one request). Everything the steady
+/// state can execute hangs off these.
+pub const R7_ROOTS: [&str; 5] = [
+    "Harness::step",
+    "BatchHarness::step",
+    "spawn_worker",
+    "accept_loop",
+    "supervisor_loop",
+];
 
 /// A call graph over symbol ids.
 #[derive(Debug, Default)]

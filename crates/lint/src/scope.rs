@@ -54,8 +54,11 @@ pub const R3_ALLOWED_PATHS: [&str; 4] = [
 ];
 
 /// Crates exempt from R5: the bench harness measures wall-clock time by
-/// design, and the lint itself is tooling outside the simulation.
-pub const R5_EXEMPT_CRATES: [&str; 2] = ["bench", "lint"];
+/// design, the lint itself is tooling outside the simulation, and the
+/// campaign daemon's deadlines, backoff, and Slowloris budgets are
+/// wall-clock by definition (its *simulation* determinism is enforced
+/// downstream, in the seeded cells it submits to the pool).
+pub const R5_EXEMPT_CRATES: [&str; 3] = ["bench", "lint", "campaignd"];
 
 /// Safety-critical enums R8 requires exhaustive matching on. Adding a
 /// variant to any of these (a new attack type, a new hazard class) must be
@@ -98,7 +101,7 @@ pub const R9_CRATES: [&str; 2] = ["openadas", "canbus"];
 /// runner — every Mutex/Condvar in the workspace lives there — and the
 /// hot-path reachability closure for R13 extends into the crates the tick
 /// roots call into.
-pub const CONCURRENCY_CRATES: [&str; 9] = [
+pub const CONCURRENCY_CRATES: [&str; 10] = [
     "platform",
     "openadas",
     "canbus",
@@ -108,6 +111,7 @@ pub const CONCURRENCY_CRATES: [&str; 9] = [
     "msgbus",
     "core",
     "defense",
+    "campaignd",
 ];
 
 /// Classifies a workspace-relative path.

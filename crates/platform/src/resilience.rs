@@ -256,13 +256,17 @@ impl ResilienceReport {
     }
 }
 
-/// Runs a resilience campaign with an explicit runner configuration.
-pub fn run_resilience_campaign_with(
-    runner: RunnerConfig,
+/// Aggregates an already-executed campaign into its report: `results[i]`
+/// must be the outcome of `plan_resilience_campaign(cfg)[i]`.
+///
+/// This is the aggregation half of [`run_resilience_campaign_with`], split
+/// out so external runners that execute cells through their own supervision
+/// — campaignd retries panicked cells and splices checkpointed results back
+/// in by index — still produce the canonical byte-identical report.
+pub fn aggregate_resilience_results(
     cfg: &ResilienceConfig,
+    results: &[SimResult],
 ) -> ResilienceReport {
-    let specs = plan_resilience_campaign(cfg);
-    let results = run_campaign_cells(runner, specs, ResilienceSpec::run);
     let per_cell = Scenario::matrix().len() * cfg.reps.max(1) as usize;
     let cells = results
         .chunks(per_cell)
@@ -280,6 +284,16 @@ pub fn run_resilience_campaign_with(
         total_runs: results.len() as u64,
         cells,
     }
+}
+
+/// Runs a resilience campaign with an explicit runner configuration.
+pub fn run_resilience_campaign_with(
+    runner: RunnerConfig,
+    cfg: &ResilienceConfig,
+) -> ResilienceReport {
+    let specs = plan_resilience_campaign(cfg);
+    let results = run_campaign_cells(runner, specs, ResilienceSpec::run);
+    aggregate_resilience_results(cfg, &results)
 }
 
 /// Runs a resilience campaign with the default (all-cores) runner.
